@@ -1,0 +1,88 @@
+"""Fig. 6a / 6b — improvement of the lat. and bdw. configurations vs BDopt+MBD.1.
+
+The paper plots, for N = 30 and N = 50 with a 1024 B payload, the relative
+variation (in %) of network consumption and latency of the *lat.* and
+*bdw.* configurations over BDopt + MBD.1, as a function of connectivity.
+"""
+
+import pytest
+
+from repro.core.modifications import ModificationSet
+from repro.metrics.report import relative_variation_percent
+from repro.runner.experiment import ExperimentConfig, run_repeated
+
+from benchmarks.common import current_scale, emit, emit_header, k_grid_for, save_record
+
+SCALE = current_scale()
+
+CONFIGURATIONS = {
+    "Lat.": ModificationSet.latency_optimized(),
+    "Bdw.": ModificationSet.bandwidth_optimized(),
+}
+
+
+def _mean(values):
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else None
+
+
+def _point(n, k, f, mods, seed=31):
+    config = ExperimentConfig(n=n, k=k, f=f, payload_size=1024, modifications=mods, seed=seed)
+    results = run_repeated(config, runs=SCALE.runs)
+    return (
+        _mean([r.latency_ms for r in results]),
+        _mean([r.total_kilobytes for r in results]),
+    )
+
+
+def test_fig6_scaling_with_number_of_processes(benchmark):
+    def study():
+        series = {}
+        for n in SCALE.fig6_ns:
+            f = max(1, n // 7)  # mid-range f, as in the paper's choice
+            ks = k_grid_for(n, f, tuple(sorted({max(2 * f + 1, n // 3), n // 2, n - n // 4})))
+            for name, mods in CONFIGURATIONS.items():
+                points = []
+                for k in ks:
+                    ref_lat, ref_kb = _point(n, k, f, ModificationSet.bdopt_with_mbd1())
+                    cand_lat, cand_kb = _point(n, k, f, mods)
+                    points.append(
+                        {
+                            "k": k,
+                            "bytes_variation_percent": relative_variation_percent(cand_kb, ref_kb),
+                            "latency_variation_percent": (
+                                relative_variation_percent(cand_lat, ref_lat)
+                                if ref_lat and cand_lat
+                                else None
+                            ),
+                        }
+                    )
+                series[f"{name}, N={n}"] = points
+        return series
+
+    series = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    emit_header(f"Fig. 6a — network consumption variation (%) vs k (scale={SCALE.name})")
+    for name, points in series.items():
+        emit(
+            f"{name:>14} | "
+            + " | ".join(f"k={p['k']}: {p['bytes_variation_percent']:+6.1f}%" for p in points)
+        )
+    emit_header("Fig. 6b — latency variation (%) vs k")
+    for name, points in series.items():
+        emit(
+            f"{name:>14} | "
+            + " | ".join(
+                f"k={p['k']}: {p['latency_variation_percent']:+6.1f}%"
+                if p["latency_variation_percent"] is not None
+                else f"k={p['k']}: n/a"
+                for p in points
+            )
+        )
+    save_record("fig6_scaling", {"scale": SCALE.name, "series": series})
+
+    # Shape check: the bdw. configuration reduces network consumption at the
+    # largest N (the paper reports around -40% to -55%).
+    largest_n = max(SCALE.fig6_ns)
+    bdw_points = series[f"Bdw., N={largest_n}"]
+    assert all(p["bytes_variation_percent"] < 0 for p in bdw_points)

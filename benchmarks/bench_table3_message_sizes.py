@@ -1,0 +1,82 @@
+"""Table 3 — message field sizes and concrete message wire costs.
+
+Reproduces the field-size table of the appendix and, using it, the wire
+size of every message type the protocol puts on a link, for a 16 B and a
+1024 B payload.  This validates the byte accounting all other benchmarks
+rely on.
+"""
+
+import pytest
+
+from repro.core.messages import CrossLayerMessage, MessageType
+from repro.core.sizes import PAPER_FIELD_SIZES
+
+from benchmarks.common import emit, emit_header, save_record
+
+EXPECTED_FIELD_SIZES = {
+    "mtype": 1,
+    "source": 4,
+    "bid": 4,
+    "local_payload_id": 4,
+    "payload_size": 4,
+    "creator_id": 4,
+    "embedded_creator_id": 4,
+    "path_length": 2,
+    "path_entry": 4,
+}
+
+
+def _sample_messages(payload_size: int):
+    payload = bytes(payload_size)
+    return {
+        "SEND (full)": CrossLayerMessage(
+            mtype=MessageType.SEND, source=0, bid=1, payload=payload, path=()
+        ),
+        "SEND (MBD.1/2/5)": CrossLayerMessage(
+            mtype=MessageType.SEND, bid=1, payload=payload, local_payload_id=7
+        ),
+        "ECHO (full)": CrossLayerMessage(
+            mtype=MessageType.ECHO, source=0, bid=1, creator=3, payload=payload, path=(4, 5)
+        ),
+        "ECHO (local id)": CrossLayerMessage(
+            mtype=MessageType.ECHO, creator=3, local_payload_id=7, path=(4, 5)
+        ),
+        "READY (local id)": CrossLayerMessage(
+            mtype=MessageType.READY, creator=3, local_payload_id=7, path=()
+        ),
+        "ECHO_ECHO (local id)": CrossLayerMessage(
+            mtype=MessageType.ECHO_ECHO, creator=3, embedded_creator=6, local_payload_id=7, path=()
+        ),
+        "READY_ECHO (local id)": CrossLayerMessage(
+            mtype=MessageType.READY_ECHO, creator=3, embedded_creator=6, local_payload_id=7, path=()
+        ),
+    }
+
+
+def test_table3_field_sizes_and_message_costs(benchmark):
+    def study():
+        sizes = {name: getattr(PAPER_FIELD_SIZES, name) for name in EXPECTED_FIELD_SIZES}
+        costs = {
+            payload_size: {
+                name: message.wire_size(PAPER_FIELD_SIZES)
+                for name, message in _sample_messages(payload_size).items()
+            }
+            for payload_size in (16, 1024)
+        }
+        return sizes, costs
+
+    sizes, costs = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    emit_header("Table 3 — message field sizes (bytes)")
+    for name, value in sizes.items():
+        emit(f"{name:>20}: {value} B")
+    for payload_size, table in costs.items():
+        emit_header(f"Wire size of each message type, payload {payload_size} B")
+        for name, value in table.items():
+            emit(f"{name:>22}: {value} B")
+    save_record("table3_message_sizes", {"field_sizes": sizes, "message_costs": costs})
+
+    assert sizes == EXPECTED_FIELD_SIZES
+    # A full ECHO carrying a 1024 B payload dwarfs its local-id counterpart.
+    assert costs[1024]["ECHO (full)"] > 1024
+    assert costs[1024]["ECHO (local id)"] < 32

@@ -1,0 +1,133 @@
+"""Shared infrastructure of the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper's
+evaluation: it runs the relevant parameter sweep, prints the same rows or
+series the paper reports, and appends a JSON record to
+``benchmarks/results/`` that EXPERIMENTS.md summarizes.
+
+Two scales are supported, selected with the ``REPRO_SCALE`` environment
+variable:
+
+* ``default`` — a scaled-down grid (N ≤ 20) that runs the full benchmark
+  suite in a few minutes on a laptop;
+* ``paper`` — the paper's parameters (N up to 50, f up to 10), which takes
+  much longer because the unoptimized baseline exchanges tens of
+  thousands of messages per broadcast.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Marker used by every benchmark when printing reproduced rows.
+ROW_PREFIX = "[repro]"
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Benchmark scale parameters."""
+
+    name: str
+    #: (n, k, f) grid for the per-modification studies (Table 1, Figs 7-10).
+    modification_grid: Tuple[Tuple[int, int, int], ...]
+    #: Parameters of the Fig. 4 study (selected modifications vs k).
+    fig4_n: int
+    fig4_f: int
+    fig4_ks: Tuple[int, ...]
+    #: Parameters of the Fig. 5 study (composite configurations vs k).
+    fig5_n: int
+    fig5_f: int
+    fig5_ks: Tuple[int, ...]
+    #: N values of the Fig. 6 scaling study.
+    fig6_ns: Tuple[int, ...]
+    #: N values of the Sec. 7.3 CPU/memory study.
+    sec73_ns: Tuple[int, ...]
+    #: Number of seeds per experiment point.
+    runs: int
+
+
+DEFAULT_SCALE = Scale(
+    name="default",
+    modification_grid=((16, 7, 2), (16, 11, 2)),
+    fig4_n=20,
+    fig4_f=3,
+    fig4_ks=(8, 12, 16, 19),
+    fig5_n=20,
+    fig5_f=3,
+    fig5_ks=(8, 12, 16, 19),
+    fig6_ns=(15, 20),
+    sec73_ns=(10, 15, 20),
+    runs=2,
+)
+
+PAPER_SCALE = Scale(
+    name="paper",
+    modification_grid=((30, 11, 4), (30, 20, 4), (50, 21, 9)),
+    fig4_n=50,
+    fig4_f=9,
+    fig4_ks=(20, 25, 30, 35, 40, 45, 49),
+    fig5_n=50,
+    fig5_f=10,
+    fig5_ks=(21, 25, 30, 35, 40, 45, 49),
+    fig6_ns=(30, 50),
+    sec73_ns=(10, 30, 50),
+    runs=5,
+)
+
+
+def current_scale() -> Scale:
+    """The scale selected by the ``REPRO_SCALE`` environment variable."""
+    if os.environ.get("REPRO_SCALE", "default").lower() == "paper":
+        return PAPER_SCALE
+    return DEFAULT_SCALE
+
+
+def emit(line: str) -> None:
+    """Print a reproduced table/figure row (always visible under pytest -s)."""
+    print(f"{ROW_PREFIX} {line}", file=sys.stderr)
+
+
+def emit_header(title: str) -> None:
+    """Print a section header for one table or figure."""
+    emit("")
+    emit("=" * 72)
+    emit(title)
+    emit("=" * 72)
+
+
+def save_record(name: str, record: Dict) -> Path:
+    """Persist a benchmark record under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def format_range(values: Sequence[float]) -> str:
+    """Render a ``[min, max]`` interval like Table 1."""
+    if not values:
+        return "[n/a]"
+    return f"[{min(values):+.1f}, {max(values):+.1f}]"
+
+
+def k_grid_for(n: int, f: int, ks: Sequence[int]) -> List[int]:
+    """Filter a connectivity grid to feasible values (2f+1 ≤ k < n, n*k even)."""
+    feasible = []
+    for k in ks:
+        if k >= n or k < 2 * f + 1:
+            continue
+        if (n * k) % 2 != 0:
+            k = k - 1 if k - 1 >= 2 * f + 1 else k + 1
+            if k >= n or (n * k) % 2 != 0:
+                continue
+        if k not in feasible:
+            feasible.append(k)
+    return feasible

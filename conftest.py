@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the in-tree sources importable.
+
+Allows running ``pytest`` straight from a checkout even when the package
+has not been installed (useful on offline machines where editable
+installs are unavailable).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Quickstart: Byzantine reliable broadcast on a partially connected network.
+
+Builds a 10-process system that tolerates f = 2 Byzantine processes,
+connects it with a random 5-regular graph (so the ``2f + 1 = 5``
+connectivity requirement holds), and broadcasts one payload with the
+paper's cross-layer Bracha-Dolev protocol.  Prints who delivered what,
+how long it took (in simulated milliseconds) and how many bytes were put
+on the wire.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CrossLayerBrachaDolev,
+    FixedDelay,
+    ModificationSet,
+    SimulatedNetwork,
+    SystemConfig,
+    random_regular_topology,
+)
+
+
+def main() -> None:
+    n, f, k = 10, 2, 5
+    config = SystemConfig.for_system(n, f)
+    topology = random_regular_topology(n, k, seed=1, min_connectivity=config.min_connectivity)
+    print(f"Topology: {topology.name}, vertex connectivity {topology.vertex_connectivity()}")
+
+    # One protocol instance per process.  The default modification set is the
+    # paper's "lat. & bdw." configuration; here we enable everything.
+    protocols = {
+        pid: CrossLayerBrachaDolev(
+            pid,
+            config,
+            sorted(topology.neighbors(pid)),
+            modifications=ModificationSet.all_enabled(),
+        )
+        for pid in topology.nodes
+    }
+
+    network = SimulatedNetwork(
+        topology, protocols, delay_model=FixedDelay(50.0), seed=1
+    )
+    network.broadcast(0, b"hello, partially connected world", bid=0)
+    metrics = network.run()
+
+    delivered = metrics.deliveries_for((0, 0))
+    latency = metrics.delivery_latency((0, 0), topology.nodes)
+    print(f"Delivered by {len(delivered)}/{n} processes")
+    print(f"Payload: {next(iter(delivered.values())).decode()}")
+    print(f"Latency until all processes delivered: {latency:.0f} ms (simulated)")
+    print(f"Messages on the wire: {metrics.message_count}")
+    print(f"Network consumption: {metrics.total_bytes / 1000:.1f} kB")
+
+
+if __name__ == "__main__":
+    main()

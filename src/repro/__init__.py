@@ -1,0 +1,100 @@
+"""Practical Byzantine Reliable Broadcast on Partially Connected Networks.
+
+A faithful Python reproduction of the protocols and evaluation of
+Bonomi, Decouchant, Farina, Rahli and Tixeuil (ICDCS 2021): Byzantine
+reliable broadcast (BRB) on authenticated, partially connected networks,
+obtained by combining Bracha's double-echo broadcast with Dolev's
+reliable communication and optimizing the combination with the MD.1–5
+and MBD.1–12 modifications.
+
+Quickstart
+----------
+>>> from repro import (SystemConfig, ModificationSet, CrossLayerBrachaDolev,
+...                    SimulatedNetwork, random_regular_topology)
+>>> config = SystemConfig.for_system(10, 1)
+>>> topology = random_regular_topology(10, 4, seed=1, min_connectivity=3)
+>>> protocols = {
+...     pid: CrossLayerBrachaDolev(pid, config, sorted(topology.neighbors(pid)))
+...     for pid in topology.nodes
+... }
+>>> network = SimulatedNetwork(topology, protocols, seed=1)
+>>> network.broadcast(0, b"hello", bid=0)
+>>> metrics = network.run()
+>>> len(metrics.deliveries_for((0, 0)))
+10
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.events import BRBDeliver, RCDeliver, SendTo
+from repro.core.messages import (
+    BrachaMessage,
+    CrossLayerMessage,
+    DolevMessage,
+    MessageType,
+)
+from repro.core.modifications import ModificationSet
+from repro.core.sizes import FieldSizes, PAPER_FIELD_SIZES
+from repro.brb.bracha import BrachaBroadcast
+from repro.brb.bracha_dolev import BrachaDolevBroadcast
+from repro.brb.cpa import BrachaCPABroadcast, CPABroadcast
+from repro.brb.dolev import DolevBroadcast, OptimizedDolevBroadcast
+from repro.brb.dolev_routed import RoutedDolevBroadcast
+from repro.brb.optimized import CrossLayerBrachaDolev
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.simulation.delays import AsynchronousDelay, FixedDelay, UniformDelay
+from repro.network.simulation.network import SimulatedNetwork
+from repro.runner.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.topology.generators import (
+    Topology,
+    complete_topology,
+    harary_topology,
+    random_regular_topology,
+    ring_topology,
+    torus_topology,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # configuration
+    "SystemConfig",
+    "ModificationSet",
+    "FieldSizes",
+    "PAPER_FIELD_SIZES",
+    # messages and events
+    "MessageType",
+    "BrachaMessage",
+    "DolevMessage",
+    "CrossLayerMessage",
+    "SendTo",
+    "BRBDeliver",
+    "RCDeliver",
+    # protocols
+    "BrachaBroadcast",
+    "DolevBroadcast",
+    "OptimizedDolevBroadcast",
+    "RoutedDolevBroadcast",
+    "CPABroadcast",
+    "BrachaCPABroadcast",
+    "BrachaDolevBroadcast",
+    "CrossLayerBrachaDolev",
+    # topologies
+    "Topology",
+    "random_regular_topology",
+    "complete_topology",
+    "harary_topology",
+    "ring_topology",
+    "torus_topology",
+    # runtime and metrics
+    "SimulatedNetwork",
+    "FixedDelay",
+    "AsynchronousDelay",
+    "UniformDelay",
+    "MetricsCollector",
+    "RunMetrics",
+    # experiments
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+]

@@ -1,0 +1,14 @@
+"""Cross-layer Bracha-Dolev protocol with the MBD.1–12 modifications.
+
+This subpackage implements the paper's main contribution (Sec. 5 and 6):
+a single protocol that collapses the Bracha and Dolev layers so that
+cross-layer optimizations can be applied.  Every modification MBD.1–12 is
+individually toggleable through a
+:class:`~repro.core.modifications.ModificationSet`, as are Bonomi et
+al.'s MD.1–5 Dolev-layer optimizations, which allows the benchmarks to
+reproduce the per-modification impact study of the evaluation.
+"""
+
+from repro.brb.optimized.protocol import CrossLayerBrachaDolev
+
+__all__ = ["CrossLayerBrachaDolev"]

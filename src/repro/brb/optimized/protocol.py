@@ -1,0 +1,738 @@
+"""The cross-layer Bracha-Dolev protocol (the paper's contribution).
+
+The protocol merges the Bracha and Dolev layers of the state-of-the-art
+combination so that the MBD.1–12 modifications of Sec. 6 can be applied:
+
+* the *Dolev role* of the protocol disseminates *contents* — (SEND |
+  ECHO | READY, creator) pairs of a payload — through the partially
+  connected network, accumulating transmission paths and delivering a
+  content once ``f + 1`` node-disjoint paths have been received
+  (or directly from its creator, MD.1);
+* the *Bracha role* counts Dolev-delivered ECHO and READY contents per
+  payload value and drives the phase transitions: echo quorum
+  ``⌈(N+f+1)/2⌉`` ⇒ own READY, ``f+1`` READYs ⇒ own READY
+  (amplification), ``f+1`` ECHOs ⇒ own ECHO (echo amplification,
+  required by MBD.2), ``2f+1`` READYs ⇒ BRB-delivery;
+* cross-layer modifications change what is put on the wire: payloads are
+  replaced by per-neighbor local identifiers after their first
+  transmission (MBD.1), SENDs become single-hop (MBD.2), simultaneous
+  relays/creations are merged into ECHO_ECHO / READY_ECHO messages
+  (MBD.3/4), redundant fields are dropped (MBD.5), and several rules
+  suppress messages that are no longer useful (MBD.6–10) or restrict who
+  creates messages and to how many neighbors they are sent (MBD.11–12).
+
+The defaults correspond to the *lat. & bdw.* configuration of Sec. 7.4;
+pass an explicit :class:`~repro.core.modifications.ModificationSet` to
+select any other combination (including the plain *BDopt* baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.events import BRBDeliver, Command, SendTo
+from repro.core.messages import CrossLayerMessage, MessageType
+from repro.core.modifications import ModificationSet
+from repro.core.protocol import BroadcastProtocol
+from repro.brb.optimized.state import (
+    BroadcastSlot,
+    OutgoingBatch,
+    PayloadRecord,
+    PlannedMessage,
+)
+
+BroadcastKey = Tuple[int, int]
+
+#: Upper bound on messages queued per (neighbor, unknown local id) (MBD.1).
+_MAX_PENDING_PER_LOCAL_ID = 64
+
+
+class CrossLayerBrachaDolev(BroadcastProtocol):
+    """Byzantine reliable broadcast on partially connected networks.
+
+    Parameters
+    ----------
+    process_id, config, neighbors:
+        See :class:`~repro.core.protocol.BroadcastProtocol`.
+    modifications:
+        The MD.1–5 / MBD.1–12 toggles.  Defaults to the paper's
+        *lat. & bdw.* configuration (MD.1–5 + MBD.1/7/8/9).
+    """
+
+    def __init__(
+        self,
+        process_id: int,
+        config: SystemConfig,
+        neighbors: Iterable[int],
+        *,
+        modifications: Optional[ModificationSet] = None,
+    ) -> None:
+        super().__init__(process_id, config, neighbors)
+        config.require_bracha_resilience()
+        self.mods = (
+            modifications
+            if modifications is not None
+            else ModificationSet.latency_and_bandwidth_optimized()
+        )
+        self._slots: Dict[BroadcastKey, BroadcastSlot] = {}
+        # MBD.1: mapping, per neighbor, from the neighbor's local payload id
+        # to the payload it refers to, plus a queue of messages received
+        # before the mapping was learnt.
+        self._neighbor_local_ids: Dict[int, Dict[int, Tuple[int, int, bytes]]] = {}
+        self._pending_local: Dict[Tuple[int, int], List[CrossLayerMessage]] = {}
+        self._local_id_counter = 0
+
+    # ------------------------------------------------------------------
+    # Constructors matching the paper's named configurations
+    # ------------------------------------------------------------------
+    @classmethod
+    def bdopt(cls, process_id: int, config: SystemConfig, neighbors: Iterable[int]):
+        """Cross-layer implementation of the *BDopt* baseline (MD.1–5 only)."""
+        return cls(
+            process_id,
+            config,
+            neighbors,
+            modifications=ModificationSet.dolev_optimized(),
+        )
+
+    @classmethod
+    def with_all_modifications(
+        cls, process_id: int, config: SystemConfig, neighbors: Iterable[int]
+    ):
+        """Every MD and MBD modification enabled."""
+        return cls(
+            process_id, config, neighbors, modifications=ModificationSet.all_enabled()
+        )
+
+    # ------------------------------------------------------------------
+    # Public protocol interface
+    # ------------------------------------------------------------------
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        slot = self._slot(self.process_id, bid)
+        record = slot.payload_record(payload)
+        batch = OutgoingBatch()
+        deliveries: List[Command] = []
+
+        # The source's own SEND content is trivially Dolev-delivered.
+        send_record = record.content(
+            MessageType.SEND, self.process_id, self.config.disjoint_paths_required
+        )
+        if not send_record.delivered:
+            send_record.delivered = True
+            send_record.relayed_empty = True
+            targets = self._origination_targets(slot, record, MessageType.SEND)
+            path: Optional[Tuple[int, ...]] = None if self.mods.mbd2_single_hop_send else ()
+            batch.add(targets, MessageType.SEND, self.process_id, record, path)
+            # The source reacts to its own SEND (Algorithm 1 sends to Π,
+            # which includes the sender itself).
+            self._bracha_on_send(slot, record, batch, deliveries)
+        return self._finalize(batch) + deliveries
+
+    def on_message(self, sender: int, message: CrossLayerMessage) -> List[Command]:
+        if not isinstance(message, CrossLayerMessage):
+            return []
+        commands: List[Command] = []
+        for resolved_sender, resolved in self._resolve(sender, message):
+            record = resolved[0]
+            wire = resolved[1]
+            commands.extend(self._process(resolved_sender, wire, record))
+        return commands
+
+    # ------------------------------------------------------------------
+    # MBD.1: payload resolution and queueing
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, sender: int, message: CrossLayerMessage
+    ) -> List[Tuple[int, Tuple[PayloadRecord, CrossLayerMessage]]]:
+        """Resolve the payload a message refers to.
+
+        Returns a list of ``(sender, (payload record, message))`` pairs:
+        the current message when resolvable, plus any queued messages that
+        the current one unblocks by revealing the sender's local id
+        mapping.  An unresolvable message is queued and yields nothing.
+        """
+        results: List[Tuple[int, Tuple[PayloadRecord, CrossLayerMessage]]] = []
+        if message.payload is not None:
+            source = message.source if message.source is not None else sender
+            bid = message.bid if message.bid is not None else 0
+            if not self.config.is_process(source):
+                return []
+            slot = self._slot(source, bid)
+            record = slot.payload_record(message.payload)
+            if message.local_payload_id is not None:
+                mapping = self._neighbor_local_ids.setdefault(sender, {})
+                mapping.setdefault(message.local_payload_id, record.key)
+                results.append((sender, (record, message)))
+                # Unblock messages queued on this (sender, local id).
+                pending = self._pending_local.pop((sender, message.local_payload_id), [])
+                results.extend((sender, (record, queued)) for queued in pending)
+            else:
+                results.append((sender, (record, message)))
+            return results
+
+        if message.local_payload_id is not None:
+            mapping = self._neighbor_local_ids.get(sender, {})
+            key = mapping.get(message.local_payload_id)
+            if key is None:
+                queue = self._pending_local.setdefault(
+                    (sender, message.local_payload_id), []
+                )
+                if len(queue) < _MAX_PENDING_PER_LOCAL_ID:
+                    queue.append(message)
+                return []
+            source, bid, payload = key
+            record = self._slot(source, bid).payload_record(payload)
+            return [(sender, (record, message))]
+
+        # Neither payload nor local id: the message cannot be interpreted.
+        return []
+
+    # ------------------------------------------------------------------
+    # Message processing
+    # ------------------------------------------------------------------
+    def _process(
+        self, sender: int, message: CrossLayerMessage, record: PayloadRecord
+    ) -> List[Command]:
+        slot = self._slot(record.source, record.bid)
+        batch = OutgoingBatch()
+        deliveries: List[Command] = []
+
+        for kind, creator, wire_path in self._decompose(sender, message, record):
+            if not self.config.is_process(creator):
+                continue
+            if len(wire_path) > self.config.n or any(
+                not self.config.is_process(p) for p in wire_path
+            ):
+                # Forged path referencing unknown processes or absurd length.
+                continue
+            # MBD.9 bookkeeping: READYs received with an empty path.
+            if kind == MessageType.READY and not wire_path:
+                seen = record.neighbor_empty_readys.setdefault(sender, set())
+                seen.add(creator)
+                if len(seen) >= self.config.delivery_quorum:
+                    slot.neighbors_bd_delivered.add(sender)
+            self._handle_content(
+                sender, slot, record, kind, creator, wire_path, batch, deliveries
+            )
+        return self._finalize(batch) + deliveries
+
+    def _decompose(
+        self, sender: int, message: CrossLayerMessage, record: PayloadRecord
+    ) -> List[Tuple[MessageType, int, Tuple[int, ...]]]:
+        """Split a wire message into its constituent content receptions."""
+        path = message.effective_path
+        creator = message.creator if message.creator is not None else sender
+        if message.mtype == MessageType.SEND:
+            # A SEND is always created by the source of the broadcast.
+            return [(MessageType.SEND, record.source, path)]
+        if message.mtype == MessageType.ECHO:
+            return [(MessageType.ECHO, creator, path)]
+        if message.mtype == MessageType.READY:
+            return [(MessageType.READY, creator, path)]
+        embedded = message.embedded_creator
+        if embedded is None:
+            return []
+        if message.mtype == MessageType.ECHO_ECHO:
+            return [
+                (MessageType.ECHO, creator, path),
+                (MessageType.ECHO, embedded, path + (creator,)),
+            ]
+        if message.mtype == MessageType.READY_ECHO:
+            return [
+                (MessageType.READY, creator, path),
+                (MessageType.ECHO, embedded, path + (creator,)),
+            ]
+        return []
+
+    def _handle_content(
+        self,
+        sender: int,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        kind: MessageType,
+        creator: int,
+        wire_path: Tuple[int, ...],
+        batch: OutgoingBatch,
+        deliveries: List[Command],
+    ) -> None:
+        content = record.content(kind, creator, self.config.disjoint_paths_required)
+
+        if not wire_path:
+            # The sender created the content or relayed it after delivering
+            # (MD.2); either way it has the content.
+            content.neighbors_delivered.add(sender)
+
+        # MBD.6: ignore ECHOs of a process whose READY has been delivered.
+        if (
+            kind == MessageType.ECHO
+            and self.mods.mbd6_ignore_echo_after_ready
+            and self._ready_delivered(record, creator)
+        ):
+            return
+        # MBD.7: ignore ECHOs once the broadcast has been BRB-delivered.
+        if (
+            kind == MessageType.ECHO
+            and self.mods.mbd7_ignore_echo_after_delivery
+            and slot.delivered
+        ):
+            return
+        # MD.4: ignore paths that contain a neighbor that already delivered.
+        if (
+            self.mods.md4_ignore_paths_with_delivered
+            and wire_path
+            and set(wire_path) & content.neighbors_delivered
+        ):
+            return
+        # MD.5: stop relaying a content once delivered and announced (or
+        # right after delivery when MD.2's empty-path relay is disabled).
+        if (
+            content.delivered
+            and self.mods.md5_stop_after_delivery
+            and (content.relayed_empty or not self.mods.md2_empty_path_after_delivery)
+        ):
+            return
+
+        direct = not wire_path and sender == creator
+        if direct:
+            intermediaries: Tuple[int, ...] = ()
+        else:
+            members = set(wire_path)
+            members.add(sender)
+            members.discard(creator)
+            members.discard(self.process_id)
+            intermediaries = tuple(sorted(members))
+
+        result = content.verifier.add_path(intermediaries)
+        newly_delivered = False
+        if not content.delivered:
+            if (direct and self.mods.md1_deliver_from_source) or result.newly_satisfied:
+                newly_delivered = True
+                content.delivered = True
+                if self.mods.md2_empty_path_after_delivery:
+                    content.verifier.discard_paths()
+
+        # MBD.2: any ECHO/READY also certifies a path for the SEND content,
+        # because in BDopt the relayed (empty-path) SEND would have travelled
+        # along the same route as the creator's ECHO.
+        send_newly_delivered = False
+        if (
+            self.mods.mbd2_single_hop_send
+            and kind in (MessageType.ECHO, MessageType.READY)
+        ):
+            send_newly_delivered = self._extract_send_path(
+                record, creator, intermediaries, direct
+            )
+
+        # Plan the Dolev relay of this content.
+        self._plan_relay(
+            sender,
+            slot,
+            record,
+            kind,
+            creator,
+            wire_path,
+            content,
+            result.stored,
+            newly_delivered,
+            direct,
+            batch,
+        )
+
+        # Bracha phase transitions.
+        if send_newly_delivered:
+            self._bracha_on_send(slot, record, batch, deliveries)
+        if newly_delivered:
+            if kind == MessageType.SEND:
+                self._bracha_on_send(slot, record, batch, deliveries)
+            elif kind == MessageType.ECHO:
+                self._bracha_on_echo(slot, record, creator, batch, deliveries)
+            elif kind == MessageType.READY:
+                self._bracha_on_ready(slot, record, creator, batch, deliveries)
+
+    def _extract_send_path(
+        self,
+        record: PayloadRecord,
+        creator: int,
+        intermediaries: Tuple[int, ...],
+        direct: bool,
+    ) -> bool:
+        """MBD.2: feed an extracted SEND path and report new delivery."""
+        send_record = record.content(
+            MessageType.SEND, record.source, self.config.disjoint_paths_required
+        )
+        if send_record.delivered:
+            return False
+        if creator == record.source:
+            extracted = intermediaries
+            extracted_direct = direct
+        else:
+            extracted = tuple(sorted(set(intermediaries) | {creator}))
+            extracted_direct = False
+        result = send_record.verifier.add_path(extracted)
+        newly = result.newly_satisfied or (
+            extracted_direct and self.mods.md1_deliver_from_source
+        )
+        if newly:
+            send_record.delivered = True
+            if self.mods.md2_empty_path_after_delivery:
+                send_record.verifier.discard_paths()
+        return newly
+
+    # ------------------------------------------------------------------
+    # Dolev relaying
+    # ------------------------------------------------------------------
+    def _plan_relay(
+        self,
+        sender: int,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        kind: MessageType,
+        creator: int,
+        wire_path: Tuple[int, ...],
+        content,
+        path_stored: bool,
+        newly_delivered: bool,
+        direct: bool,
+        batch: OutgoingBatch,
+    ) -> None:
+        # MBD.2: SEND messages are single-hop and are never relayed.
+        if kind == MessageType.SEND and self.mods.mbd2_single_hop_send:
+            return
+
+        if newly_delivered and self.mods.md2_empty_path_after_delivery:
+            # MD.2: announce the delivery once, with an empty path.
+            relay_path: Tuple[int, ...] = ()
+            content.relayed_empty = True
+            exclude: Set[int] = set()
+        else:
+            # MBD.10: a dominated path adds no information — do not relay it.
+            if (
+                self.mods.mbd10_ignore_superpaths
+                and not path_stored
+                and not direct
+                and not newly_delivered
+            ):
+                return
+            relay_path = wire_path + (sender,)
+            exclude = set(wire_path) | {sender}
+
+        targets = self._relay_targets(slot, record, kind, creator, content, exclude)
+        if targets:
+            batch.add(targets, kind, creator, record, relay_path)
+
+    def _relay_targets(
+        self,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        kind: MessageType,
+        creator: int,
+        content,
+        exclude: Set[int],
+    ) -> List[int]:
+        excluded = set(exclude)
+        excluded.add(creator)
+        excluded.add(self.process_id)
+        if self.mods.md3_skip_delivered_neighbors:
+            excluded |= content.neighbors_delivered
+        if self.mods.mbd9_skip_delivered_neighbors:
+            excluded |= slot.neighbors_bd_delivered
+        if kind == MessageType.ECHO and self.mods.mbd8_skip_echo_to_ready_neighbors:
+            excluded |= record.ready_delivered_neighbors(self.neighbors)
+        return [q for q in self.neighbors if q not in excluded]
+
+    def _origination_targets(
+        self, slot: BroadcastSlot, record: PayloadRecord, kind: MessageType
+    ) -> List[int]:
+        excluded: Set[int] = set()
+        if self.mods.mbd9_skip_delivered_neighbors:
+            excluded |= slot.neighbors_bd_delivered
+        if kind == MessageType.ECHO and self.mods.mbd8_skip_echo_to_ready_neighbors:
+            excluded |= record.ready_delivered_neighbors(self.neighbors)
+        targets = [q for q in self.neighbors if q not in excluded]
+        if self.mods.mbd12_reduced_fanout:
+            limit = self.config.delivery_quorum  # 2f + 1
+            if len(targets) > limit:
+                targets = self._preferred_targets(record.source, targets, limit)
+        return targets
+
+    def _preferred_targets(
+        self, source: int, targets: Sequence[int], limit: int
+    ) -> List[int]:
+        """MBD.12 target selection, preferring MBD.11 role holders if enabled."""
+        if not self.mods.mbd11_role_restriction:
+            return list(targets)[:limit]
+        roles = self.config.echo_generators(source) | self.config.ready_generators(source)
+        preferred = [q for q in targets if q in roles]
+        others = [q for q in targets if q not in roles]
+        return (preferred + others)[:limit]
+
+    # ------------------------------------------------------------------
+    # Bracha phase transitions
+    # ------------------------------------------------------------------
+    def _ready_delivered(self, record: PayloadRecord, creator: int) -> bool:
+        ready = record.existing_content(MessageType.READY, creator)
+        return ready is not None and ready.delivered
+
+    def _bracha_on_send(
+        self,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        batch: OutgoingBatch,
+        deliveries: List[Command],
+    ) -> None:
+        if slot.sent_echo:
+            return
+        self._create_own_echo(slot, record, batch, deliveries)
+
+    def _bracha_on_echo(
+        self,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        creator: int,
+        batch: OutgoingBatch,
+        deliveries: List[Command],
+    ) -> None:
+        if creator in record.echo_creators:
+            return
+        record.echo_creators.add(creator)
+        echo_count = len(record.echo_creators)
+        wants_ready = (
+            not slot.sent_ready and echo_count >= self.config.echo_quorum
+        )
+        wants_echo = (
+            not slot.sent_echo
+            and echo_count >= self.config.echo_amplification_threshold
+        )
+        # When both an ECHO and a READY become possible, only the READY is
+        # sent (Sec. 6.2).
+        if wants_ready:
+            self._create_own_ready(slot, record, batch, deliveries)
+        elif wants_echo:
+            self._create_own_echo(slot, record, batch, deliveries)
+
+    def _bracha_on_ready(
+        self,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        creator: int,
+        batch: OutgoingBatch,
+        deliveries: List[Command],
+    ) -> None:
+        if creator not in record.ready_creators:
+            record.ready_creators.add(creator)
+            # A READY implies its creator's ECHO (Sec. 6.2).
+            self._bracha_on_echo(slot, record, creator, batch, deliveries)
+        ready_count = len(record.ready_creators)
+        if (
+            not slot.sent_ready
+            and ready_count >= self.config.ready_amplification_threshold
+        ):
+            self._create_own_ready(slot, record, batch, deliveries)
+        if not slot.delivered and ready_count >= self.config.delivery_quorum:
+            slot.delivered = True
+            deliveries.append(
+                self._record_delivery(record.source, record.bid, record.payload)
+            )
+
+    def _create_own_echo(
+        self,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        batch: OutgoingBatch,
+        deliveries: List[Command],
+    ) -> None:
+        if slot.sent_echo:
+            return
+        if (
+            self.mods.mbd11_role_restriction
+            and self.process_id not in self.config.echo_generators(record.source)
+        ):
+            return
+        slot.sent_echo = True
+        content = record.content(
+            MessageType.ECHO, self.process_id, self.config.disjoint_paths_required
+        )
+        content.delivered = True
+        content.relayed_empty = True
+        targets = self._origination_targets(slot, record, MessageType.ECHO)
+        batch.add(targets, MessageType.ECHO, self.process_id, record, ())
+        self._bracha_on_echo(slot, record, self.process_id, batch, deliveries)
+
+    def _create_own_ready(
+        self,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        batch: OutgoingBatch,
+        deliveries: List[Command],
+    ) -> None:
+        if slot.sent_ready:
+            return
+        if (
+            self.mods.mbd11_role_restriction
+            and self.process_id not in self.config.ready_generators(record.source)
+        ):
+            return
+        slot.sent_ready = True
+        # The READY subsumes this process's ECHO (Sec. 6.2): do not send a
+        # separate ECHO afterwards.
+        slot.sent_echo = True
+        content = record.content(
+            MessageType.READY, self.process_id, self.config.disjoint_paths_required
+        )
+        content.delivered = True
+        content.relayed_empty = True
+        targets = self._origination_targets(slot, record, MessageType.READY)
+        batch.add(targets, MessageType.READY, self.process_id, record, ())
+        self._bracha_on_ready(slot, record, self.process_id, batch, deliveries)
+
+    # ------------------------------------------------------------------
+    # Wire construction, MBD.3/4 merging and MBD.1/5 field selection
+    # ------------------------------------------------------------------
+    def _finalize(self, batch: OutgoingBatch) -> List[Command]:
+        merged = self._merge_planned(batch.planned)
+        return [
+            SendTo(dest=planned.dest, message=self._make_wire(planned))
+            for planned in merged
+        ]
+
+    def _merge_planned(self, planned: List[PlannedMessage]) -> List[PlannedMessage]:
+        if not (self.mods.mbd3_echo_echo or self.mods.mbd4_ready_echo):
+            return planned
+        result: List[PlannedMessage] = []
+        consumed = [False] * len(planned)
+        for i, first in enumerate(planned):
+            if consumed[i]:
+                continue
+            if first.embedded_creator is not None or first.kind == MessageType.SEND:
+                result.append(first)
+                continue
+            partner_index = None
+            for j in range(i + 1, len(planned)):
+                second = planned[j]
+                if consumed[j] or second.embedded_creator is not None:
+                    continue
+                if (
+                    second.dest != first.dest
+                    or second.record is not first.record
+                    or second.path != first.path
+                    or second.path is None
+                    or second.kind == MessageType.SEND
+                ):
+                    continue
+                kinds = {first.kind, second.kind}
+                if kinds == {MessageType.ECHO, MessageType.READY}:
+                    if not self.mods.mbd4_ready_echo:
+                        continue
+                elif kinds == {MessageType.ECHO}:
+                    if not self.mods.mbd3_echo_echo:
+                        continue
+                    if first.creator == second.creator:
+                        continue
+                else:
+                    continue
+                partner_index = j
+                break
+            if partner_index is None:
+                result.append(first)
+                continue
+            second = planned[partner_index]
+            consumed[partner_index] = True
+            if MessageType.READY in (first.kind, second.kind):
+                outer, inner = (
+                    (first, second) if first.kind == MessageType.READY else (second, first)
+                )
+            else:
+                # Prefer this process's own (newly created) ECHO as the outer
+                # message, mirroring the ECHO_ECHO definition of MBD.3.
+                outer, inner = (
+                    (first, second)
+                    if first.creator == self.process_id
+                    else (second, first)
+                )
+            result.append(
+                PlannedMessage(
+                    dest=outer.dest,
+                    kind=outer.kind,
+                    creator=outer.creator,
+                    record=outer.record,
+                    path=outer.path,
+                    embedded_creator=inner.creator,
+                )
+            )
+        return result
+
+    def _make_wire(self, planned: PlannedMessage) -> CrossLayerMessage:
+        record = planned.record
+        mods = self.mods
+        include_payload = True
+        local_id: Optional[int] = None
+        if mods.mbd1_local_payload_ids:
+            if record.my_local_id is None:
+                record.my_local_id = self._local_id_counter
+                self._local_id_counter += 1
+            local_id = record.my_local_id
+            if planned.dest in record.announced_to:
+                include_payload = False
+            else:
+                record.announced_to.add(planned.dest)
+
+        source_field: Optional[int] = record.source
+        bid_field: Optional[int] = record.bid
+        payload_field: Optional[bytes] = record.payload if include_payload else None
+        if not include_payload and mods.mbd5_optional_fields:
+            source_field = None
+            bid_field = None
+
+        creator_field: Optional[int] = planned.creator
+        if planned.kind == MessageType.SEND:
+            creator_field = None
+            if mods.mbd2_single_hop_send and mods.mbd5_optional_fields:
+                source_field = None
+        elif (
+            mods.mbd5_optional_fields
+            and planned.embedded_creator is None
+            and planned.creator == self.process_id
+            and planned.path == ()
+        ):
+            # A newly created message: the authenticated link identifies the
+            # creator, so the field can be omitted (Sec. 6.3).
+            creator_field = None
+
+        if planned.embedded_creator is None:
+            mtype = planned.kind
+        elif planned.kind == MessageType.READY:
+            mtype = MessageType.READY_ECHO
+        else:
+            mtype = MessageType.ECHO_ECHO
+
+        return CrossLayerMessage(
+            mtype=mtype,
+            source=source_field,
+            bid=bid_field,
+            creator=creator_field,
+            embedded_creator=planned.embedded_creator,
+            payload=payload_field,
+            local_payload_id=local_id,
+            path=planned.path,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def _slot(self, source: int, bid: int) -> BroadcastSlot:
+        slot = self._slots.get((source, bid))
+        if slot is None:
+            slot = BroadcastSlot(source=source, bid=bid)
+            self._slots[(source, bid)] = slot
+        return slot
+
+    def state_size_estimate(self) -> int:
+        """Stored paths, combinations and quorum entries (memory proxy)."""
+        slots = sum(slot.state_size_estimate() for slot in self._slots.values())
+        pending = sum(len(queue) for queue in self._pending_local.values())
+        mappings = sum(len(m) for m in self._neighbor_local_ids.values())
+        return slots + pending + mappings
+
+
+__all__ = ["CrossLayerBrachaDolev"]

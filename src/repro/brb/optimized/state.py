@@ -1,0 +1,181 @@
+"""State kept by the cross-layer Bracha-Dolev protocol.
+
+The protocol tracks three levels of state:
+
+* one :class:`BroadcastSlot` per ``(source, bid)`` pair — the Bracha-level
+  flags (``sent_echo`` / ``sent_ready`` / ``delivered``) that a correct
+  process sets at most once per broadcast identifier;
+* one :class:`PayloadRecord` per distinct payload observed for a slot —
+  quorum bookkeeping is per payload value so that an equivocating
+  Byzantine source cannot split correct processes (BRB-Agreement);
+* one :class:`ContentRecord` per Dolev *content* — a (SEND/ECHO/READY,
+  creator) pair of a payload — holding the disjoint-path verifier and the
+  per-content dissemination flags of MD.1–5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.messages import MessageType
+from repro.paths.disjoint import DisjointPathVerifier
+
+#: Identifies a Dolev content within a payload: (kind, creator).
+ContentKey = Tuple[MessageType, int]
+
+#: Identifies a payload: (source, bid, payload bytes).
+PayloadKey = Tuple[int, int, bytes]
+
+
+@dataclass
+class ContentRecord:
+    """Dissemination state of one (kind, creator) content of a payload."""
+
+    verifier: DisjointPathVerifier
+    delivered: bool = False
+    relayed_empty: bool = False
+    #: Neighbors that sent an empty path for this content (they have it).
+    neighbors_delivered: Set[int] = field(default_factory=set)
+
+    def state_size_estimate(self) -> int:
+        return self.verifier.state_size_estimate() + len(self.neighbors_delivered)
+
+
+@dataclass
+class PayloadRecord:
+    """Per-payload quorum and dissemination bookkeeping."""
+
+    source: int
+    bid: int
+    payload: bytes
+    #: Dolev contents of this payload, keyed by (kind, creator).
+    contents: Dict[ContentKey, ContentRecord] = field(default_factory=dict)
+    #: Creators whose ECHO has been Dolev-delivered (or implied by a READY).
+    echo_creators: Set[int] = field(default_factory=set)
+    #: Creators whose READY has been Dolev-delivered.
+    ready_creators: Set[int] = field(default_factory=set)
+    #: Local identifier chosen by this process for the payload (MBD.1).
+    my_local_id: Optional[int] = None
+    #: Neighbors that have been sent the payload together with our local id.
+    announced_to: Set[int] = field(default_factory=set)
+    #: Per neighbor, the READY creators received with an empty path (MBD.9).
+    neighbor_empty_readys: Dict[int, Set[int]] = field(default_factory=dict)
+
+    @property
+    def key(self) -> PayloadKey:
+        return (self.source, self.bid, self.payload)
+
+    def content(self, kind: MessageType, creator: int, required_paths: int) -> ContentRecord:
+        """Get or create the content record for ``(kind, creator)``."""
+        record = self.contents.get((kind, creator))
+        if record is None:
+            record = ContentRecord(verifier=DisjointPathVerifier(required_paths))
+            self.contents[(kind, creator)] = record
+        return record
+
+    def existing_content(self, kind: MessageType, creator: int) -> Optional[ContentRecord]:
+        """The content record for ``(kind, creator)`` if it exists."""
+        return self.contents.get((kind, creator))
+
+    def ready_delivered_neighbors(self, neighbors) -> Set[int]:
+        """Neighbors whose own READY content has been Dolev-delivered (MBD.8)."""
+        delivered = set()
+        for neighbor in neighbors:
+            record = self.contents.get((MessageType.READY, neighbor))
+            if record is not None and record.delivered:
+                delivered.add(neighbor)
+        return delivered
+
+    def state_size_estimate(self) -> int:
+        contents = sum(record.state_size_estimate() for record in self.contents.values())
+        quorums = len(self.echo_creators) + len(self.ready_creators)
+        empties = sum(len(creators) for creators in self.neighbor_empty_readys.values())
+        return contents + quorums + empties
+
+
+@dataclass
+class BroadcastSlot:
+    """Per ``(source, bid)`` Bracha flags shared by all payload values."""
+
+    source: int
+    bid: int
+    sent_echo: bool = False
+    sent_ready: bool = False
+    delivered: bool = False
+    #: Payload records keyed by the payload bytes.
+    payloads: Dict[bytes, PayloadRecord] = field(default_factory=dict)
+    #: Neighbors that Bracha-delivered this broadcast (MBD.9).
+    neighbors_bd_delivered: Set[int] = field(default_factory=set)
+
+    def payload_record(self, payload: bytes) -> PayloadRecord:
+        """Get or create the record of one payload value."""
+        record = self.payloads.get(payload)
+        if record is None:
+            record = PayloadRecord(source=self.source, bid=self.bid, payload=payload)
+            self.payloads[payload] = record
+        return record
+
+    def state_size_estimate(self) -> int:
+        return sum(record.state_size_estimate() for record in self.payloads.values())
+
+
+@dataclass
+class PlannedMessage:
+    """An outgoing message decided while handling one stimulus.
+
+    Planned messages are accumulated in an :class:`OutgoingBatch`, merged
+    according to MBD.3 / MBD.4 and only then turned into wire
+    :class:`~repro.core.messages.CrossLayerMessage` objects (which is when
+    MBD.1 / MBD.5 decide which fields to include for each destination).
+    """
+
+    dest: int
+    kind: MessageType  # SEND, ECHO or READY (base kind before merging)
+    creator: int
+    record: PayloadRecord
+    #: ``None`` means the wire message carries no path field (MBD.2 SENDs).
+    path: Optional[Tuple[int, ...]]
+    embedded_creator: Optional[int] = None
+
+
+class OutgoingBatch:
+    """Ordered collection of planned messages for one stimulus."""
+
+    def __init__(self) -> None:
+        self.planned: List[PlannedMessage] = []
+
+    def add(
+        self,
+        dests,
+        kind: MessageType,
+        creator: int,
+        record: PayloadRecord,
+        path: Optional[Tuple[int, ...]],
+        embedded_creator: Optional[int] = None,
+    ) -> None:
+        for dest in dests:
+            self.planned.append(
+                PlannedMessage(
+                    dest=dest,
+                    kind=kind,
+                    creator=creator,
+                    record=record,
+                    path=path,
+                    embedded_creator=embedded_creator,
+                )
+            )
+
+    def __len__(self) -> int:
+        return len(self.planned)
+
+
+__all__ = [
+    "ContentKey",
+    "PayloadKey",
+    "ContentRecord",
+    "PayloadRecord",
+    "BroadcastSlot",
+    "PlannedMessage",
+    "OutgoingBatch",
+]

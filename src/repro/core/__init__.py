@@ -1,0 +1,43 @@
+"""Core abstractions shared by every protocol and substrate.
+
+This package contains the process/message/event model used across the
+library:
+
+* :mod:`repro.core.messages` — wire messages for Bracha, Dolev and the
+  cross-layer Bracha-Dolev protocol, with byte-accurate size accounting
+  following Table 3 of the paper.
+* :mod:`repro.core.events` — the commands and events exchanged between a
+  protocol and the runtime hosting it (sans-io style).
+* :mod:`repro.core.protocol` — the abstract protocol interface implemented
+  by every broadcast protocol in :mod:`repro.brb`.
+* :mod:`repro.core.config` — static system configuration (process set,
+  fault threshold, quorum sizes).
+* :mod:`repro.core.modifications` — the MD.1–5 and MBD.1–12 toggles and the
+  named presets used in the paper's evaluation.
+* :mod:`repro.core.encoding` — a compact binary codec for the messages,
+  used by the asyncio runtime and by the codec round-trip tests.
+"""
+
+from repro.core.config import SystemConfig
+from repro.core.events import BRBDeliver, Command, SendTo
+from repro.core.messages import (
+    BrachaMessage,
+    CrossLayerMessage,
+    DolevMessage,
+    MessageType,
+)
+from repro.core.modifications import ModificationSet
+from repro.core.protocol import BroadcastProtocol
+
+__all__ = [
+    "SystemConfig",
+    "Command",
+    "SendTo",
+    "BRBDeliver",
+    "MessageType",
+    "BrachaMessage",
+    "DolevMessage",
+    "CrossLayerMessage",
+    "ModificationSet",
+    "BroadcastProtocol",
+]

@@ -1,0 +1,146 @@
+"""Static system configuration shared by every protocol instance.
+
+A :class:`SystemConfig` captures the assumptions of Sec. 3 of the paper:
+the set of process identifiers, the maximum number ``f`` of Byzantine
+processes, and the quorum sizes derived from them.  It is immutable and
+shared by reference between all protocol instances of a run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Tuple
+
+from repro.core.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """System-wide parameters known by every process.
+
+    Parameters
+    ----------
+    processes:
+        The identifiers of the ``N`` processes of the system.  Identifiers
+        are small non-negative integers; the paper assumes that every
+        process knows the identifiers of all processes.
+    f:
+        Maximum number of Byzantine processes tolerated.  The Bracha layer
+        requires ``f < N / 3`` and the Dolev layer requires the
+        communication graph to be at least ``2f + 1``-vertex-connected.
+    """
+
+    processes: Tuple[int, ...]
+    f: int
+    _process_set: frozenset = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        processes = tuple(sorted(set(self.processes)))
+        if not processes:
+            raise ConfigurationError("a system needs at least one process")
+        if self.f < 0:
+            raise ConfigurationError(f"f must be non-negative, got {self.f}")
+        if any(p < 0 for p in processes):
+            raise ConfigurationError("process identifiers must be non-negative")
+        object.__setattr__(self, "processes", processes)
+        object.__setattr__(self, "_process_set", frozenset(processes))
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_system(cls, n: int, f: int) -> "SystemConfig":
+        """Build a configuration for ``n`` processes identified ``0..n-1``."""
+        return cls(processes=tuple(range(n)), f=f)
+
+    @classmethod
+    def from_processes(cls, processes: Iterable[int], f: int) -> "SystemConfig":
+        """Build a configuration from an explicit process identifier set."""
+        return cls(processes=tuple(processes), f=f)
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Total number of processes ``N``."""
+        return len(self.processes)
+
+    @property
+    def echo_quorum(self) -> int:
+        """Number of ECHOs required to send a READY: ``⌈(N + f + 1) / 2⌉``."""
+        return math.ceil((self.n + self.f + 1) / 2)
+
+    @property
+    def ready_amplification_threshold(self) -> int:
+        """Number of READYs (``f + 1``) that lets a process send its own READY."""
+        return self.f + 1
+
+    @property
+    def echo_amplification_threshold(self) -> int:
+        """Number of ECHOs (``f + 1``) that lets a process send its own ECHO.
+
+        Echo amplification is introduced by the cross-layer combination
+        (Sec. 6.2); it mirrors the classic ready amplification.
+        """
+        return self.f + 1
+
+    @property
+    def delivery_quorum(self) -> int:
+        """Number of READYs (``2f + 1``) required to BRB-deliver."""
+        return 2 * self.f + 1
+
+    @property
+    def disjoint_paths_required(self) -> int:
+        """Number of node-disjoint paths (``f + 1``) required to Dolev-deliver."""
+        return self.f + 1
+
+    @property
+    def min_connectivity(self) -> int:
+        """Minimum vertex connectivity (``2f + 1``) required of the topology."""
+        return 2 * self.f + 1
+
+    def satisfies_bracha_resilience(self) -> bool:
+        """Return ``True`` when ``f < N / 3`` (Bracha's resilience bound)."""
+        return 3 * self.f < self.n
+
+    def require_bracha_resilience(self) -> None:
+        """Raise :class:`ConfigurationError` unless ``f < N / 3``."""
+        if not self.satisfies_bracha_resilience():
+            raise ConfigurationError(
+                f"Bracha's protocol requires f < N/3, got N={self.n}, f={self.f}"
+            )
+
+    def is_process(self, pid: int) -> bool:
+        """Return ``True`` when ``pid`` identifies a process of the system."""
+        return pid in self._process_set
+
+    # ------------------------------------------------------------------
+    # MBD.11 role assignment
+    # ------------------------------------------------------------------
+    def echo_generators(self, source: int) -> frozenset:
+        """Processes allowed to create ECHO messages under MBD.11.
+
+        The ``⌈(N + f + 1) / 2⌉ + f`` processes with the smallest identifiers
+        after the source (modulo ``N``) generate ECHOs; the computation
+        depends on the source so that the load is spread over all processes
+        across broadcasts (Sec. 6.5).
+        """
+        return self._roles_after(source, self.echo_quorum + self.f)
+
+    def ready_generators(self, source: int) -> frozenset:
+        """Processes allowed to create READY messages under MBD.11 (``3f + 1``)."""
+        return self._roles_after(source, self.delivery_quorum + self.f)
+
+    def _roles_after(self, source: int, count: int) -> frozenset:
+        ordered = self.processes
+        if source not in self._process_set:
+            # A Byzantine process may claim an unknown source; fall back to
+            # the position it would occupy to keep the assignment total.
+            start = 0
+        else:
+            start = ordered.index(source) + 1
+        count = min(count, self.n)
+        selected = [ordered[(start + i) % self.n] for i in range(count)]
+        return frozenset(selected)

@@ -1,0 +1,21 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """A protocol or experiment was configured with inconsistent parameters."""
+
+
+class TopologyError(ReproError):
+    """A communication graph does not meet the protocol's requirements."""
+
+
+class EncodingError(ReproError):
+    """A message could not be encoded to, or decoded from, its wire format."""
+
+
+class RuntimeAbort(ReproError):
+    """A runtime (simulation or asyncio) had to abort an execution."""

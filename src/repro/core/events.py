@@ -1,0 +1,69 @@
+"""Commands and events exchanged between protocols and runtimes.
+
+Protocols in :mod:`repro.brb` are written *sans-io*: they never touch a
+socket or a scheduler.  Every entry point (``on_start``, ``broadcast``,
+``on_message``) returns a list of :class:`Command` objects describing what
+the hosting runtime should do — put a message on an authenticated link
+(:class:`SendTo`) or hand a payload to the application
+(:class:`BRBDeliver` / :class:`RCDeliver`).  Both the discrete-event
+simulation runtime and the asyncio runtime interpret the same commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class SendTo:
+    """Ask the runtime to send ``message`` to neighbor ``dest``.
+
+    The link between the emitting process and ``dest`` is assumed to be an
+    authenticated, reliable point-to-point channel (Sec. 3).
+    """
+
+    dest: int
+    message: Any
+
+
+@dataclass(frozen=True)
+class BRBDeliver:
+    """Byzantine-reliable-broadcast delivery of a payload to the application.
+
+    ``source`` and ``bid`` identify the broadcast; all correct processes
+    delivering the same ``(source, bid)`` deliver the same ``payload``
+    (BRB-Agreement).
+    """
+
+    source: int
+    bid: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class RCDeliver:
+    """Reliable-communication delivery (honest-dealer broadcast).
+
+    Emitted by the Dolev layer.  ``source`` may be ``None`` for raw
+    contents whose originator is not encoded in the payload.
+    """
+
+    payload: Any
+    source: Optional[int] = None
+
+
+Command = Union[SendTo, BRBDeliver, RCDeliver]
+
+
+def sends(commands) -> Tuple[SendTo, ...]:
+    """Return only the :class:`SendTo` commands of a command list."""
+    return tuple(c for c in commands if isinstance(c, SendTo))
+
+
+def deliveries(commands) -> Tuple[Union[BRBDeliver, RCDeliver], ...]:
+    """Return only the delivery commands of a command list."""
+    return tuple(c for c in commands if isinstance(c, (BRBDeliver, RCDeliver)))
+
+
+__all__ = ["SendTo", "BRBDeliver", "RCDeliver", "Command", "sends", "deliveries"]

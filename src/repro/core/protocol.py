@@ -1,0 +1,100 @@
+"""Abstract interface implemented by every broadcast protocol.
+
+The interface is *sans-io*: a protocol is a deterministic state machine
+that reacts to three stimuli — start-up, a local broadcast request and the
+reception of a message from a neighbor — and answers with a list of
+:class:`repro.core.events.Command` objects.  The hosting runtime (the
+discrete-event simulation of :mod:`repro.network.simulation` or the real
+asyncio transport of :mod:`repro.network.asyncio_runtime`) executes the
+commands.  This separation lets the exact same protocol code run in the
+benchmarks, the property-based tests and real deployments.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.events import BRBDeliver, Command
+
+
+class BroadcastProtocol(abc.ABC):
+    """Base class of every broadcast protocol of the library.
+
+    Parameters
+    ----------
+    process_id:
+        Identifier of the process running this instance.
+    config:
+        System-wide configuration (process set, fault threshold).
+    neighbors:
+        Identifiers of the processes directly connected to this one.  On a
+        fully connected network this is every other process.
+    """
+
+    def __init__(
+        self,
+        process_id: int,
+        config: SystemConfig,
+        neighbors: Sequence[int],
+    ) -> None:
+        if not config.is_process(process_id):
+            raise ConfigurationError(
+                f"process {process_id} is not part of the configured system"
+            )
+        unknown = [q for q in neighbors if not config.is_process(q)]
+        if unknown:
+            raise ConfigurationError(f"unknown neighbor identifiers: {unknown}")
+        if process_id in neighbors:
+            raise ConfigurationError("a process cannot be its own neighbor")
+        self.process_id = process_id
+        self.config = config
+        self.neighbors: Tuple[int, ...] = tuple(sorted(set(neighbors)))
+        #: Payloads delivered so far, keyed by ``(source, bid)``.
+        self.delivered: Dict[Tuple[int, int], bytes] = {}
+
+    # ------------------------------------------------------------------
+    # Protocol entry points
+    # ------------------------------------------------------------------
+    def on_start(self) -> List[Command]:
+        """Called once by the runtime before any message is exchanged."""
+        return []
+
+    @abc.abstractmethod
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        """Initiate the broadcast of ``payload`` with broadcast id ``bid``."""
+
+    @abc.abstractmethod
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        """Handle a message received from direct neighbor ``sender``.
+
+        ``sender`` is guaranteed by the authenticated-link assumption to be
+        the process that actually emitted the message.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    def has_delivered(self, source: int, bid: int) -> bool:
+        """Return ``True`` when ``(source, bid)`` has been delivered locally."""
+        return (source, bid) in self.delivered
+
+    def delivered_payload(self, source: int, bid: int) -> Optional[bytes]:
+        """Payload delivered for ``(source, bid)``, or ``None``."""
+        return self.delivered.get((source, bid))
+
+    def _record_delivery(self, source: int, bid: int, payload: bytes) -> BRBDeliver:
+        """Record a delivery locally and build the corresponding command."""
+        self.delivered[(source, bid)] = payload
+        return BRBDeliver(source=source, bid=bid, payload=payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} pid={self.process_id} "
+            f"neighbors={len(self.neighbors)} delivered={len(self.delivered)}>"
+        )
+
+
+__all__ = ["BroadcastProtocol"]

@@ -1,0 +1,56 @@
+"""Message field sizes used for network-consumption accounting.
+
+The values reproduce Table 3 of the paper ("Description and size of the
+message fields" of the C++ implementation).  Network consumption reported
+by the benchmarks is the sum, over every message put on a link, of the
+sizes of the fields that the message actually carries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldSizes:
+    """Size in bytes of each message field (Table 3).
+
+    Attributes
+    ----------
+    mtype:
+        Message type tag.
+    source:
+        Identifier ``s`` of the source process of a broadcast.
+    bid:
+        Broadcast identifier (sequence number).
+    local_payload_id:
+        Local identifier used instead of the payload under MBD.1.
+    payload_size:
+        Length prefix of the payload data.
+    creator_id:
+        ``erId1`` — identifier of the process that created an ECHO/READY.
+    embedded_creator_id:
+        ``erId2`` — identifier embedded in ECHO_ECHO / READY_ECHO messages.
+    path_length:
+        Length prefix of the path (number of process identifiers).
+    path_entry:
+        Size of each process identifier carried in a path.
+    """
+
+    mtype: int = 1
+    source: int = 4
+    bid: int = 4
+    local_payload_id: int = 4
+    payload_size: int = 4
+    creator_id: int = 4
+    embedded_creator_id: int = 4
+    path_length: int = 2
+    path_entry: int = 4
+
+    def path_cost(self, hop_count: int) -> int:
+        """Bytes used to encode a path of ``hop_count`` process identifiers."""
+        return self.path_length + self.path_entry * hop_count
+
+
+#: Field sizes of the paper's reference implementation (Table 3).
+PAPER_FIELD_SIZES = FieldSizes()

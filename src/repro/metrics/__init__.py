@@ -1,0 +1,35 @@
+"""Measurement of latency, network consumption and state size.
+
+The paper's evaluation reports two primary metrics per broadcast:
+
+* **latency** — the amount of (simulated) time needed for *all* correct
+  processes to deliver the broadcast payload (Sec. 7.1);
+* **network consumption** — the total number of bytes put on the links,
+  computed from the per-field sizes of Table 3.
+
+:class:`MetricsCollector` records both, plus message counts by type and
+per-process state-size proxies used by the Sec. 7.3 reproduction.
+:mod:`repro.metrics.report` provides the aggregation helpers (relative
+variations, box-plot statistics) used by the Table 1 and Fig. 7–10
+benchmarks.
+"""
+
+from repro.core.sizes import FieldSizes, PAPER_FIELD_SIZES
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.metrics.report import (
+    BoxPlotStats,
+    boxplot_stats,
+    relative_variation_percent,
+    summarize_variations,
+)
+
+__all__ = [
+    "FieldSizes",
+    "PAPER_FIELD_SIZES",
+    "MetricsCollector",
+    "RunMetrics",
+    "BoxPlotStats",
+    "boxplot_stats",
+    "relative_variation_percent",
+    "summarize_variations",
+]

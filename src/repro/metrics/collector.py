@@ -1,0 +1,177 @@
+"""Per-run metric collection.
+
+A :class:`MetricsCollector` is attached to a network runtime and records
+every message put on a link and every application-level delivery.  At the
+end of a run it is frozen into a :class:`RunMetrics` snapshot that the
+experiment runner and the benchmarks consume.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.core.messages import MessageType
+from repro.core.sizes import FieldSizes, PAPER_FIELD_SIZES
+
+BroadcastKey = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Immutable snapshot of the metrics of one protocol run."""
+
+    #: Total number of messages put on links by all processes.
+    message_count: int
+    #: Total number of bytes put on links (Table 3 accounting).
+    total_bytes: int
+    #: Message counts broken down by message type name.
+    messages_by_type: Mapping[str, int]
+    #: Byte counts broken down by message type name.
+    bytes_by_type: Mapping[str, int]
+    #: Messages sent by each process.
+    messages_by_process: Mapping[int, int]
+    #: Bytes sent by each process.
+    bytes_by_process: Mapping[int, int]
+    #: Delivery time of each (process, broadcast) pair.
+    delivery_times: Mapping[Tuple[int, BroadcastKey], float]
+    #: Payload delivered by each (process, broadcast) pair.
+    delivered_payloads: Mapping[Tuple[int, BroadcastKey], bytes]
+    #: Simulated (or wall-clock) time at which the run ended.
+    end_time: float
+    #: Per-process state-size proxies collected at the end of the run.
+    state_sizes: Mapping[int, int]
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def deliveries_for(self, key: BroadcastKey) -> Dict[int, bytes]:
+        """Map process id → delivered payload for one broadcast."""
+        return {
+            pid: payload
+            for (pid, bkey), payload in self.delivered_payloads.items()
+            if bkey == key
+        }
+
+    def delivery_latency(
+        self, key: BroadcastKey, processes: Iterable[int], start_time: float = 0.0
+    ) -> Optional[float]:
+        """Latency until every process in ``processes`` delivered ``key``.
+
+        Returns ``None`` when at least one of the processes did not
+        deliver, mirroring the paper's definition of latency as the time
+        for *all correct processes* to deliver.
+        """
+        latest = start_time
+        for pid in processes:
+            time = self.delivery_times.get((pid, key))
+            if time is None:
+                return None
+            latest = max(latest, time)
+        return latest - start_time
+
+    def delivering_processes(self, key: BroadcastKey) -> Tuple[int, ...]:
+        """Processes that delivered ``key``, sorted."""
+        return tuple(
+            sorted(pid for (pid, bkey) in self.delivery_times if bkey == key)
+        )
+
+    @property
+    def peak_state_size(self) -> int:
+        """Largest per-process state-size proxy observed."""
+        return max(self.state_sizes.values(), default=0)
+
+    @property
+    def total_state_size(self) -> int:
+        """Sum of the per-process state-size proxies."""
+        return sum(self.state_sizes.values())
+
+
+class MetricsCollector:
+    """Mutable collector attached to a runtime during a run."""
+
+    def __init__(self, sizes: FieldSizes = PAPER_FIELD_SIZES) -> None:
+        self.sizes = sizes
+        self.message_count = 0
+        self.total_bytes = 0
+        self.messages_by_type: Dict[str, int] = defaultdict(int)
+        self.bytes_by_type: Dict[str, int] = defaultdict(int)
+        self.messages_by_process: Dict[int, int] = defaultdict(int)
+        self.bytes_by_process: Dict[int, int] = defaultdict(int)
+        self.delivery_times: Dict[Tuple[int, BroadcastKey], float] = {}
+        self.delivered_payloads: Dict[Tuple[int, BroadcastKey], bytes] = {}
+        self.state_sizes: Dict[int, int] = {}
+        self.end_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_send(self, time: float, sender: int, dest: int, message) -> int:
+        """Record a message put on the link ``sender → dest``.
+
+        Returns the wire size charged for the message so the runtime can
+        use it for bandwidth-dependent delays if needed.
+        """
+        size = message.wire_size(self.sizes) if hasattr(message, "wire_size") else 0
+        type_name = _message_type_name(message)
+        self.message_count += 1
+        self.total_bytes += size
+        self.messages_by_type[type_name] += 1
+        self.bytes_by_type[type_name] += size
+        self.messages_by_process[sender] += 1
+        self.bytes_by_process[sender] += size
+        self.end_time = max(self.end_time, time)
+        return size
+
+    def record_delivery(
+        self, time: float, pid: int, source: int, bid: int, payload: bytes
+    ) -> None:
+        """Record an application-level (BRB or RC) delivery."""
+        key = (pid, (source, bid))
+        if key not in self.delivery_times:
+            self.delivery_times[key] = time
+            self.delivered_payloads[key] = payload
+        self.end_time = max(self.end_time, time)
+
+    def record_time(self, time: float) -> None:
+        """Advance the recorded end-of-run time."""
+        self.end_time = max(self.end_time, time)
+
+    def record_state_size(self, pid: int, size: int) -> None:
+        """Record a per-process state-size proxy (stored paths, tables, …)."""
+        self.state_sizes[pid] = size
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> RunMetrics:
+        """Freeze the collected values into a :class:`RunMetrics`."""
+        return RunMetrics(
+            message_count=self.message_count,
+            total_bytes=self.total_bytes,
+            messages_by_type=dict(self.messages_by_type),
+            bytes_by_type=dict(self.bytes_by_type),
+            messages_by_process=dict(self.messages_by_process),
+            bytes_by_process=dict(self.bytes_by_process),
+            delivery_times=dict(self.delivery_times),
+            delivered_payloads=dict(self.delivered_payloads),
+            end_time=self.end_time,
+            state_sizes=dict(self.state_sizes),
+        )
+
+
+def _message_type_name(message) -> str:
+    mtype = getattr(message, "mtype", None)
+    if isinstance(mtype, MessageType):
+        return mtype.name
+    content = getattr(message, "content", None)
+    if content is not None:
+        inner = getattr(content, "mtype", None)
+        if isinstance(inner, MessageType):
+            return f"DOLEV[{inner.name}]"
+        return "DOLEV[RAW]"
+    return type(message).__name__
+
+
+__all__ = ["MetricsCollector", "RunMetrics", "BroadcastKey"]

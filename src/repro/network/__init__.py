@@ -1,0 +1,47 @@
+"""Network substrates hosting the protocols.
+
+Two runtimes interpret the sans-io protocol commands:
+
+* :mod:`repro.network.simulation` — a deterministic discrete-event
+  simulation with the paper's synchronous (fixed 50 ms) and asynchronous
+  (Normal(50, 50) ms) link-delay models.  All benchmarks use it.
+* :mod:`repro.network.asyncio_runtime` — real TCP transports driven by
+  asyncio, demonstrating that the same protocol code runs over actual
+  sockets.
+
+:mod:`repro.network.adversary` provides Byzantine process behaviours
+(mute, crash, equivocation, path forging, selective dropping) usable with
+either runtime.
+"""
+
+from repro.network.simulation import (
+    AsynchronousDelay,
+    DelayModel,
+    EventScheduler,
+    FixedDelay,
+    SimulatedNetwork,
+    UniformDelay,
+)
+from repro.network.adversary import (
+    ByzantineBehavior,
+    CrashingProcess,
+    EquivocatingSource,
+    MessageDroppingRelay,
+    MuteProcess,
+    PathForgingRelay,
+)
+
+__all__ = [
+    "EventScheduler",
+    "DelayModel",
+    "FixedDelay",
+    "AsynchronousDelay",
+    "UniformDelay",
+    "SimulatedNetwork",
+    "ByzantineBehavior",
+    "MuteProcess",
+    "CrashingProcess",
+    "EquivocatingSource",
+    "MessageDroppingRelay",
+    "PathForgingRelay",
+]

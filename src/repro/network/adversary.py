@@ -1,0 +1,253 @@
+"""Byzantine process behaviours used by tests and failure-injection benches.
+
+The global fault model of the paper lets up to ``f`` processes behave
+arbitrarily: drop, modify or inject messages (Sec. 3).  This module
+provides concrete behaviours implementing the same sans-io interface as
+the correct protocols so they can be plugged into either runtime:
+
+* :class:`MuteProcess` — never sends anything (fail-silent).
+* :class:`CrashingProcess` — behaves correctly, then stops for good after
+  a configurable number of handled messages.
+* :class:`MessageDroppingRelay` — relays like a correct process but drops
+  each outgoing message with some probability.
+* :class:`PathForgingRelay` — relays but rewrites the path field of the
+  messages it forwards with fabricated process identifiers.
+* :class:`EquivocatingSource` — broadcasts conflicting payloads to
+  different neighbors (the attack BRB-Agreement defends against).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.events import Command, SendTo
+from repro.core.messages import (
+    BrachaMessage,
+    CrossLayerMessage,
+    DolevMessage,
+    MessageType,
+)
+
+
+class ByzantineBehavior:
+    """Base class of Byzantine behaviours (duck-typed protocol interface)."""
+
+    def __init__(self, process_id: int, neighbors: Sequence[int]) -> None:
+        self.process_id = process_id
+        self.neighbors: Tuple[int, ...] = tuple(sorted(set(neighbors)))
+        self.delivered: dict = {}
+
+    def on_start(self) -> List[Command]:
+        return []
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return []
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return []
+
+    def state_size_estimate(self) -> int:
+        return 0
+
+
+class MuteProcess(ByzantineBehavior):
+    """A fail-silent Byzantine process: it never sends any message."""
+
+
+class CrashingProcess(ByzantineBehavior):
+    """Wraps a correct protocol and crashes it after ``crash_after`` messages.
+
+    Until the crash point the process is indistinguishable from a correct
+    one, which exercises the protocols' tolerance to processes that fail
+    mid-broadcast.
+    """
+
+    def __init__(self, inner, crash_after: int) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        if crash_after < 0:
+            raise ValueError("crash_after must be non-negative")
+        self.inner = inner
+        self.crash_after = crash_after
+        self._handled = 0
+
+    @property
+    def crashed(self) -> bool:
+        """Whether the crash point has been reached."""
+        return self._handled >= self.crash_after
+
+    def on_start(self) -> List[Command]:
+        return [] if self.crashed else self.inner.on_start()
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        if self.crashed:
+            return []
+        return self.inner.broadcast(payload, bid)
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        if self.crashed:
+            return []
+        self._handled += 1
+        commands = self.inner.on_message(sender, message)
+        if self.crashed:
+            # The process crashes *while* handling this message: it may have
+            # sent a prefix of its outgoing messages.
+            keep = max(0, len(commands) // 2)
+            return commands[:keep]
+        return commands
+
+
+class MessageDroppingRelay(ByzantineBehavior):
+    """Runs a correct protocol but drops outgoing messages probabilistically."""
+
+    def __init__(self, inner, drop_probability: float, seed: int = 0) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be within [0, 1]")
+        self.inner = inner
+        self.drop_probability = drop_probability
+        self._rng = random.Random(seed)
+        self.dropped = 0
+
+    def _filter(self, commands: List[Command]) -> List[Command]:
+        kept: List[Command] = []
+        for command in commands:
+            if isinstance(command, SendTo) and self._rng.random() < self.drop_probability:
+                self.dropped += 1
+                continue
+            kept.append(command)
+        return kept
+
+    def on_start(self) -> List[Command]:
+        return self._filter(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return self._filter(self.inner.broadcast(payload, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._filter(self.inner.on_message(sender, message))
+
+
+class PathForgingRelay(ByzantineBehavior):
+    """Relays messages but rewrites their path field with forged identifiers.
+
+    The forged paths try to make the receiving processes believe the
+    content travelled through many disjoint routes, which a correct
+    disjoint-path verifier must not be fooled by (only ``f`` processes can
+    lie, so at least ``f + 1`` genuine disjoint paths are still required).
+    """
+
+    def __init__(self, inner, config: SystemConfig, seed: int = 0) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        self.inner = inner
+        self.config = config
+        self._rng = random.Random(seed)
+        self.forged = 0
+
+    def _forge_path(self, path: Tuple[int, ...]) -> Tuple[int, ...]:
+        candidates = [p for p in self.config.processes if p != self.process_id]
+        length = self._rng.randint(0, min(3, len(candidates)))
+        self.forged += 1
+        return tuple(self._rng.sample(candidates, length))
+
+    def _mutate(self, commands: List[Command]) -> List[Command]:
+        mutated: List[Command] = []
+        for command in commands:
+            if isinstance(command, SendTo):
+                message = command.message
+                if isinstance(message, DolevMessage):
+                    message = DolevMessage(
+                        content=message.content, path=self._forge_path(message.path)
+                    )
+                elif isinstance(message, CrossLayerMessage) and message.path is not None:
+                    message = message.with_fields(path=self._forge_path(message.path))
+                mutated.append(SendTo(dest=command.dest, message=message))
+            else:
+                mutated.append(command)
+        return mutated
+
+    def on_start(self) -> List[Command]:
+        return self._mutate(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return self._mutate(self.inner.broadcast(payload, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._mutate(self.inner.on_message(sender, message))
+
+
+class EquivocatingSource(ByzantineBehavior):
+    """A Byzantine source that sends conflicting payloads to its neighbors.
+
+    Half of the neighbors receive ``payload`` and the other half receive
+    ``conflicting_payload`` for the same ``(source, bid)``.  BRB-Agreement
+    requires that correct processes either all deliver the same payload or
+    none delivers; the reliable-communication layer alone does not prevent
+    a split, which is what the integration tests check.
+
+    Parameters
+    ----------
+    family:
+        Which message format to craft: ``"bracha"`` (plain Bracha on a
+        fully connected network), ``"bracha_dolev"`` (layered combination)
+        or ``"cross_layer"`` (the optimized protocol).
+    """
+
+    def __init__(
+        self,
+        process_id: int,
+        neighbors: Sequence[int],
+        *,
+        family: str = "cross_layer",
+        conflicting_payload: Optional[bytes] = None,
+    ) -> None:
+        super().__init__(process_id, neighbors)
+        if family not in ("bracha", "bracha_dolev", "cross_layer"):
+            raise ValueError(f"unknown protocol family: {family}")
+        self.family = family
+        self.conflicting_payload = conflicting_payload
+
+    def _craft_send(self, payload: bytes, bid: int) -> Any:
+        if self.family == "bracha":
+            return BrachaMessage(
+                mtype=MessageType.SEND, source=self.process_id, bid=bid, payload=payload
+            )
+        if self.family == "bracha_dolev":
+            return DolevMessage(
+                content=BrachaMessage(
+                    mtype=MessageType.SEND,
+                    source=self.process_id,
+                    bid=bid,
+                    payload=payload,
+                ),
+                path=(),
+            )
+        return CrossLayerMessage(
+            mtype=MessageType.SEND,
+            source=self.process_id,
+            bid=bid,
+            payload=payload,
+            path=(),
+        )
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        other = self.conflicting_payload
+        if other is None:
+            other = bytes(reversed(payload)) if payload else b"\x01"
+        commands: List[Command] = []
+        half = len(self.neighbors) // 2
+        for index, neighbor in enumerate(self.neighbors):
+            chosen = payload if index < half else other
+            commands.append(SendTo(dest=neighbor, message=self._craft_send(chosen, bid)))
+        return commands
+
+
+__all__ = [
+    "ByzantineBehavior",
+    "MuteProcess",
+    "CrashingProcess",
+    "MessageDroppingRelay",
+    "PathForgingRelay",
+    "EquivocatingSource",
+]

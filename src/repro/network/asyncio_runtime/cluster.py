@@ -1,0 +1,70 @@
+"""Convenience helper running a whole cluster of asyncio nodes in-process.
+
+Used by the integration tests and the ``asyncio_cluster.py`` example: it
+builds one protocol per process of a topology, wires the TCP connections
+on localhost and exposes a small broadcast-and-wait API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.config import SystemConfig
+from repro.network.asyncio_runtime.node import AsyncioNode
+from repro.topology.generators import Topology
+
+ProtocolBuilder = Callable[[int, SystemConfig, Iterable[int]], object]
+
+
+class AsyncioCluster:
+    """A set of :class:`AsyncioNode` instances over one topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: SystemConfig,
+        builder: ProtocolBuilder,
+        *,
+        port_base: int = 9600,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self.nodes: Dict[int, AsyncioNode] = {}
+        for pid in topology.nodes:
+            protocol = builder(pid, config, sorted(topology.neighbors(pid)))
+            self.nodes[pid] = AsyncioNode(protocol, host=host, port_base=port_base)
+
+    async def start(self) -> None:
+        """Start every node and establish all neighbor connections."""
+        for node in self.nodes.values():
+            await node.start()
+        await asyncio.gather(*(node.connect_neighbors() for node in self.nodes.values()))
+        # Give inbound registrations a moment to settle.
+        await asyncio.sleep(0.05)
+
+    async def stop(self) -> None:
+        """Shut every node down."""
+        await asyncio.gather(*(node.stop() for node in self.nodes.values()))
+
+    async def broadcast(self, source: int, payload: bytes, bid: int = 0) -> None:
+        """Broadcast ``payload`` from ``source``."""
+        await self.nodes[source].broadcast(payload, bid)
+
+    async def wait_for_all_deliveries(
+        self, *, count: int = 1, timeout: float = 30.0, processes: Optional[List[int]] = None
+    ) -> bool:
+        """Wait until every listed process delivered ``count`` broadcasts."""
+        targets = processes if processes is not None else list(self.nodes)
+        results = await asyncio.gather(
+            *(self.nodes[pid].wait_for_delivery(count, timeout) for pid in targets)
+        )
+        return all(results)
+
+    def delivered_payloads(self, pid: int) -> List[bytes]:
+        """Payloads delivered by process ``pid`` so far."""
+        return [delivery.payload for delivery in self.nodes[pid].deliveries]
+
+
+__all__ = ["AsyncioCluster"]

@@ -1,0 +1,187 @@
+"""A single protocol instance hosted over asyncio TCP connections.
+
+Each node listens on a TCP port and opens one connection per neighbor
+with a larger identifier (the lower-id peer always dials, which avoids
+duplicate connections).  The first frame on every connection is a HELLO
+carrying the dialing node's identifier; afterwards every frame is an
+encoded protocol message.  Connections are only accepted from declared
+neighbors, mirroring the authenticated-channel assumption.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.encoding import decode_message, encode_message
+from repro.core.errors import RuntimeAbort
+from repro.core.events import BRBDeliver, Command, RCDeliver, SendTo
+
+_LENGTH = struct.Struct(">I")
+_HELLO = struct.Struct(">I")
+
+
+class AsyncioNode:
+    """Hosts one sans-io protocol instance over TCP.
+
+    Parameters
+    ----------
+    protocol:
+        Any object implementing the protocol interface (``broadcast`` /
+        ``on_message`` returning command lists).
+    port_base:
+        Node ``i`` listens on ``port_base + i`` on localhost.
+    """
+
+    def __init__(self, protocol, *, host: str = "127.0.0.1", port_base: int = 9600) -> None:
+        self.protocol = protocol
+        self.process_id = protocol.process_id
+        self.host = host
+        self.port_base = port_base
+        self._writers: Dict[int, asyncio.StreamWriter] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._reader_tasks: List[asyncio.Task] = []
+        self._lock = asyncio.Lock()
+        #: BRB deliveries observed by this node, as (source, bid, payload).
+        self.deliveries: List[BRBDeliver] = []
+        self.delivery_event = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        return self.port_base + self.process_id
+
+    async def start(self) -> None:
+        """Start listening for inbound neighbor connections."""
+        self._server = await asyncio.start_server(
+            self._on_inbound, host=self.host, port=self.port
+        )
+
+    async def connect_neighbors(self) -> None:
+        """Dial every neighbor with a larger identifier."""
+        for neighbor in self.protocol.neighbors:
+            if neighbor <= self.process_id:
+                continue
+            await self._dial(neighbor)
+
+    async def _dial(self, neighbor: int, *, attempts: int = 40) -> None:
+        last_error: Optional[Exception] = None
+        for _ in range(attempts):
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port_base + neighbor
+                )
+                writer.write(_HELLO.pack(self.process_id))
+                await writer.drain()
+                self._register(neighbor, reader, writer)
+                return
+            except OSError as exc:  # the peer may not be listening yet
+                last_error = exc
+                await asyncio.sleep(0.05)
+        raise RuntimeAbort(f"could not connect to neighbor {neighbor}: {last_error}")
+
+    async def _on_inbound(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await reader.readexactly(_HELLO.size)
+        except asyncio.IncompleteReadError:
+            writer.close()
+            return
+        (peer_id,) = _HELLO.unpack(hello)
+        if peer_id not in self.protocol.neighbors:
+            # Only declared neighbors own an authenticated channel.
+            writer.close()
+            return
+        self._register(peer_id, reader, writer)
+
+    def _register(
+        self, peer_id: int, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers[peer_id] = writer
+        task = asyncio.ensure_future(self._read_loop(peer_id, reader))
+        self._reader_tasks.append(task)
+
+    async def stop(self) -> None:
+        """Close the server, the connections and the reader tasks."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in self._reader_tasks:
+            task.cancel()
+        for writer in self._writers.values():
+            writer.close()
+        self._writers.clear()
+
+    # ------------------------------------------------------------------
+    # Protocol driving
+    # ------------------------------------------------------------------
+    async def broadcast(self, payload: bytes, bid: int = 0) -> None:
+        """Initiate a broadcast from this node."""
+        async with self._lock:
+            commands = self.protocol.broadcast(payload, bid)
+        await self._execute(commands)
+
+    async def _read_loop(self, peer_id: int, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(_LENGTH.size)
+                (length,) = _LENGTH.unpack(header)
+                frame = await reader.readexactly(length)
+                message = decode_message(frame)
+                async with self._lock:
+                    commands = self.protocol.on_message(peer_id, message)
+                await self._execute(commands)
+        except (asyncio.IncompleteReadError, asyncio.CancelledError, ConnectionError):
+            return
+
+    async def _execute(self, commands: Iterable[Command]) -> None:
+        for command in commands:
+            if isinstance(command, SendTo):
+                await self._send(command.dest, command.message)
+            elif isinstance(command, BRBDeliver):
+                self.deliveries.append(command)
+                self.delivery_event.set()
+            elif isinstance(command, RCDeliver):
+                self.deliveries.append(
+                    BRBDeliver(
+                        source=command.source if command.source is not None else -1,
+                        bid=0,
+                        payload=command.payload
+                        if isinstance(command.payload, bytes)
+                        else b"",
+                    )
+                )
+                self.delivery_event.set()
+
+    async def _send(self, dest: int, message) -> None:
+        writer = self._writers.get(dest)
+        if writer is None:
+            return
+        frame = encode_message(message)
+        writer.write(_LENGTH.pack(len(frame)) + frame)
+        try:
+            await writer.drain()
+        except ConnectionError:
+            self._writers.pop(dest, None)
+
+    async def wait_for_delivery(self, count: int = 1, timeout: float = 30.0) -> bool:
+        """Wait until at least ``count`` deliveries happened."""
+        loop = asyncio.get_event_loop()
+        deadline = loop.time() + timeout
+        while len(self.deliveries) < count:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return False
+            self.delivery_event.clear()
+            try:
+                await asyncio.wait_for(self.delivery_event.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                return False
+        return True
+
+
+__all__ = ["AsyncioNode"]

@@ -1,0 +1,19 @@
+"""Deterministic discrete-event simulation of the communication network."""
+
+from repro.network.simulation.delays import (
+    AsynchronousDelay,
+    DelayModel,
+    FixedDelay,
+    UniformDelay,
+)
+from repro.network.simulation.scheduler import EventScheduler
+from repro.network.simulation.network import SimulatedNetwork
+
+__all__ = [
+    "DelayModel",
+    "FixedDelay",
+    "AsynchronousDelay",
+    "UniformDelay",
+    "EventScheduler",
+    "SimulatedNetwork",
+]

@@ -1,0 +1,100 @@
+"""Link-delay models reproducing the paper's network settings (Sec. 7.1).
+
+The paper emulates synchronous networks by delaying every message by a
+fixed 50 ms and asynchronous networks by drawing per-message delays from
+a Normal(50, 50) ms distribution (negative samples are clipped), which
+frequently reorders messages in flight.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+
+class DelayModel(abc.ABC):
+    """Per-message link delay distribution."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, sender: int, dest: int, size_bytes: int) -> float:
+        """Delay (in milliseconds) applied to one message on one link."""
+
+    def describe(self) -> str:
+        """Short human-readable description used in benchmark reports."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class FixedDelay(DelayModel):
+    """Constant per-message delay — the paper's synchronous setting."""
+
+    delay_ms: float = 50.0
+
+    def sample(self, rng: random.Random, sender: int, dest: int, size_bytes: int) -> float:
+        return self.delay_ms
+
+    def describe(self) -> str:
+        return f"synchronous({self.delay_ms:g} ms)"
+
+
+@dataclass(frozen=True)
+class AsynchronousDelay(DelayModel):
+    """Normally distributed delay — the paper's asynchronous setting.
+
+    Delays are drawn from Normal(``mean_ms``, ``std_ms``) and clipped to a
+    small positive minimum so that causality is preserved.
+    """
+
+    mean_ms: float = 50.0
+    std_ms: float = 50.0
+    min_ms: float = 0.1
+
+    def sample(self, rng: random.Random, sender: int, dest: int, size_bytes: int) -> float:
+        return max(self.min_ms, rng.gauss(self.mean_ms, self.std_ms))
+
+    def describe(self) -> str:
+        return f"asynchronous(N({self.mean_ms:g}, {self.std_ms:g}) ms)"
+
+
+@dataclass(frozen=True)
+class UniformDelay(DelayModel):
+    """Uniformly distributed delay, used by some robustness tests."""
+
+    low_ms: float = 10.0
+    high_ms: float = 100.0
+
+    def sample(self, rng: random.Random, sender: int, dest: int, size_bytes: int) -> float:
+        return rng.uniform(self.low_ms, self.high_ms)
+
+    def describe(self) -> str:
+        return f"uniform([{self.low_ms:g}, {self.high_ms:g}] ms)"
+
+
+@dataclass(frozen=True)
+class BandwidthAwareDelay(DelayModel):
+    """Adds a serialization term proportional to the message size.
+
+    Models the 1 Gb/s bandwidth cap the paper applies with ``netem``: a
+    message of ``size_bytes`` takes ``size_bytes * 8 / rate_bps`` seconds
+    to serialize on the link, on top of a base propagation delay.
+    """
+
+    base: DelayModel = FixedDelay(50.0)
+    rate_bps: float = 1e9
+
+    def sample(self, rng: random.Random, sender: int, dest: int, size_bytes: int) -> float:
+        serialization_ms = (size_bytes * 8.0 / self.rate_bps) * 1000.0
+        return self.base.sample(rng, sender, dest, size_bytes) + serialization_ms
+
+    def describe(self) -> str:
+        return f"{self.base.describe()}+{self.rate_bps / 1e9:g}Gb/s"
+
+
+__all__ = [
+    "DelayModel",
+    "FixedDelay",
+    "AsynchronousDelay",
+    "UniformDelay",
+    "BandwidthAwareDelay",
+]

@@ -1,0 +1,210 @@
+"""Discrete-event simulation of an authenticated partially connected network.
+
+A :class:`SimulatedNetwork` hosts one protocol instance (or Byzantine
+behaviour) per process of a :class:`~repro.topology.Topology`, applies a
+:class:`~repro.network.simulation.delays.DelayModel` to every message and
+records every send and delivery in a
+:class:`~repro.metrics.MetricsCollector`.
+
+The simulation enforces the system model of Sec. 3:
+
+* only processes connected by an edge can exchange messages (a protocol
+  trying to send to a non-neighbor is a bug and raises);
+* links are reliable and authenticated — messages are never lost or
+  altered in transit, and the receiver learns the true sender identity;
+* links are either synchronous (fixed delay) or asynchronous (random
+  delay), in which case messages can be reordered.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.errors import ConfigurationError, RuntimeAbort
+from repro.core.events import BRBDeliver, Command, RCDeliver, SendTo
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.simulation.delays import DelayModel, FixedDelay
+from repro.network.simulation.scheduler import EventScheduler
+from repro.topology.generators import Topology
+
+DeliveryCallback = Callable[[int, BRBDeliver, float], None]
+
+
+class SimulatedNetwork:
+    """Hosts protocol instances over a simulated partially connected network.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph; one protocol instance per node.
+    protocols:
+        Mapping from process identifier to the object implementing the
+        protocol interface (``on_start`` / ``broadcast`` / ``on_message``).
+        Byzantine behaviours from :mod:`repro.network.adversary` implement
+        the same interface.
+    delay_model:
+        Per-message link delay distribution (defaults to the paper's
+        synchronous 50 ms setting).
+    seed:
+        Seed of the random number generator driving delays and any
+        randomized Byzantine behaviour.
+    collector:
+        Metrics collector; a fresh one is created when omitted.
+    on_deliver:
+        Optional callback invoked on every BRB delivery, used by the
+        example applications.
+    shared_bandwidth_bps:
+        When set, all messages additionally share a single transmission
+        medium of this rate (bits per second).  This emulates the paper's
+        testbed, where every Docker container runs on one desktop with a
+        1 Gb/s ``netem`` cap: configurations that exchange a lot of data
+        saturate the medium and see their latency grow, which is how the
+        bandwidth-reducing modifications also improve latency (Sec. 7.7).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocols: Mapping[int, object],
+        *,
+        delay_model: Optional[DelayModel] = None,
+        seed: int = 0,
+        collector: Optional[MetricsCollector] = None,
+        on_deliver: Optional[DeliveryCallback] = None,
+        shared_bandwidth_bps: Optional[float] = None,
+    ) -> None:
+        missing = [node for node in topology.nodes if node not in protocols]
+        if missing:
+            raise ConfigurationError(f"no protocol instance for processes {missing}")
+        unknown = [pid for pid in protocols if pid not in topology.adjacency]
+        if unknown:
+            raise ConfigurationError(f"protocol instances for unknown processes {unknown}")
+        self.topology = topology
+        self.protocols = dict(protocols)
+        self.delay_model = delay_model if delay_model is not None else FixedDelay()
+        self.rng = random.Random(seed)
+        self.scheduler = EventScheduler()
+        self.collector = collector if collector is not None else MetricsCollector()
+        self.on_deliver = on_deliver
+        if shared_bandwidth_bps is not None and shared_bandwidth_bps <= 0:
+            raise ConfigurationError("shared_bandwidth_bps must be positive")
+        self.shared_bandwidth_bps = shared_bandwidth_bps
+        self._medium_free_at = 0.0
+        self._crashed: set = set()
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self.scheduler.now
+
+    def crash(self, pid: int) -> None:
+        """Crash a process: it stops sending and ignores future messages."""
+        self._crashed.add(pid)
+
+    def is_crashed(self, pid: int) -> bool:
+        """Whether ``pid`` has been crashed."""
+        return pid in self._crashed
+
+    def start(self) -> None:
+        """Run every protocol's ``on_start`` hook once."""
+        if self._started:
+            return
+        self._started = True
+        for pid, protocol in self.protocols.items():
+            if hasattr(protocol, "on_start"):
+                self._execute_commands(pid, protocol.on_start())
+
+    def broadcast(self, pid: int, payload: bytes, bid: int = 0) -> None:
+        """Have process ``pid`` initiate a broadcast at the current time."""
+        self.start()
+        if pid in self._crashed:
+            return
+        protocol = self.protocols[pid]
+        self._execute_commands(pid, protocol.broadcast(payload, bid))
+
+    def run(
+        self,
+        *,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> RunMetrics:
+        """Run the simulation until no message is in flight.
+
+        Returns the frozen metrics of the run.  ``max_events`` guards
+        against unbounded message storms (see
+        :class:`~repro.network.simulation.scheduler.EventScheduler`).
+        """
+        self.start()
+        self.scheduler.run(max_time=max_time, max_events=max_events)
+        self.collector.record_time(self.scheduler.now)
+        self._collect_state_sizes()
+        return self.collector.snapshot()
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def _execute_commands(self, pid: int, commands: Iterable[Command]) -> None:
+        if pid in self._crashed:
+            return
+        for command in commands:
+            if isinstance(command, SendTo):
+                self._execute_send(pid, command)
+            elif isinstance(command, BRBDeliver):
+                self._execute_delivery(pid, command)
+            elif isinstance(command, RCDeliver):
+                self._execute_rc_delivery(pid, command)
+            else:  # pragma: no cover - defensive
+                raise RuntimeAbort(f"unknown command {command!r} from process {pid}")
+
+    def _execute_send(self, sender: int, command: SendTo) -> None:
+        dest = command.dest
+        if not self.topology.has_edge(sender, dest):
+            raise RuntimeAbort(
+                f"process {sender} tried to send to {dest} without a channel"
+            )
+        size = self.collector.record_send(self.scheduler.now, sender, dest, command.message)
+        delay = self.delay_model.sample(self.rng, sender, dest, size)
+        message = command.message
+
+        def deliver() -> None:
+            if dest in self._crashed:
+                return
+            protocol = self.protocols[dest]
+            self._execute_commands(dest, protocol.on_message(sender, message))
+
+        if self.shared_bandwidth_bps is not None:
+            # Serialize the message through the shared medium before the
+            # propagation delay starts.
+            start = max(self.scheduler.now, self._medium_free_at)
+            transmission_ms = (size * 8.0 / self.shared_bandwidth_bps) * 1000.0
+            self._medium_free_at = start + transmission_ms
+            arrival = self._medium_free_at + delay
+            self.scheduler.schedule_at(arrival, deliver)
+        else:
+            self.scheduler.schedule(delay, deliver)
+
+    def _execute_delivery(self, pid: int, command: BRBDeliver) -> None:
+        self.collector.record_delivery(
+            self.scheduler.now, pid, command.source, command.bid, command.payload
+        )
+        if self.on_deliver is not None:
+            self.on_deliver(pid, command, self.scheduler.now)
+
+    def _execute_rc_delivery(self, pid: int, command: RCDeliver) -> None:
+        source = command.source if command.source is not None else -1
+        payload = command.payload if isinstance(command.payload, bytes) else b""
+        self.collector.record_delivery(self.scheduler.now, pid, source, 0, payload)
+
+    def _collect_state_sizes(self) -> None:
+        for pid, protocol in self.protocols.items():
+            estimator = getattr(protocol, "state_size_estimate", None)
+            if callable(estimator):
+                self.collector.record_state_size(pid, estimator())
+
+
+__all__ = ["SimulatedNetwork"]

@@ -1,0 +1,83 @@
+"""Minimal deterministic discrete-event scheduler.
+
+Events are ``(time, sequence, callback)`` triples kept in a binary heap.
+Ties on the timestamp are broken by insertion order, which makes a run
+fully deterministic for a given seed and topology — a property the
+reproducibility tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.errors import RuntimeAbort
+
+
+class EventScheduler:
+    """Priority queue of timed callbacks with a virtual clock."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        #: Number of events executed so far.
+        self.executed_events = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (milliseconds by convention)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled events not yet executed."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time}, current time is {self._now}")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def run(
+        self,
+        *,
+        max_time: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> float:
+        """Execute events in timestamp order until the queue drains.
+
+        Parameters
+        ----------
+        max_time:
+            Stop (leaving later events unexecuted) once the clock would
+            pass this value.
+        max_events:
+            Abort with :class:`RuntimeAbort` after this many events; a
+            guard against protocol bugs producing infinite message storms.
+        """
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if max_time is not None and time > max_time:
+                break
+            heapq.heappop(self._queue)
+            self._now = time
+            self.executed_events += 1
+            if max_events is not None and self.executed_events > max_events:
+                raise RuntimeAbort(
+                    f"simulation exceeded {max_events} events; "
+                    "the protocol is probably flooding the network"
+                )
+            callback()
+        return self._now
+
+
+__all__ = ["EventScheduler"]

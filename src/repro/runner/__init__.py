@@ -1,0 +1,33 @@
+"""Experiment runner used by the benchmarks and the examples.
+
+:func:`~repro.runner.experiment.run_experiment` builds a topology,
+instantiates one protocol per process (optionally replacing up to ``f`` of
+them with Byzantine behaviours), broadcasts a payload from a source and
+returns the latency / network-consumption metrics of the run —
+reproducing the measurement loop of Sec. 7.1.
+"""
+
+from repro.runner.configs import (
+    PROTOCOL_CONFIGURATIONS,
+    modification_set_for,
+    protocol_factory,
+)
+from repro.runner.experiment import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    run_repeated,
+)
+from repro.runner.sweep import SweepPoint, sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "run_repeated",
+    "SweepPoint",
+    "sweep",
+    "PROTOCOL_CONFIGURATIONS",
+    "modification_set_for",
+    "protocol_factory",
+]

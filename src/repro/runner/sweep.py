@@ -1,0 +1,136 @@
+"""Parameter sweeps over (N, k, f, payload, delay) grids.
+
+The Table 1 and Fig. 7–10 reproductions compare, for every experiment
+point, a *candidate* configuration against a *reference* configuration on
+identical topologies and seeds.  :func:`sweep` runs the candidate over a
+grid; :func:`paired_variations` runs candidate and reference back to back
+and reports the relative variations the paper's tables plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.modifications import ModificationSet
+from repro.metrics.report import relative_variation_percent
+from repro.runner.experiment import ExperimentConfig, ExperimentResult, run_experiment
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One (N, k, f) grid point with its per-seed results."""
+
+    n: int
+    k: int
+    f: int
+    payload_size: int
+    synchronous: bool
+    results: Tuple[ExperimentResult, ...]
+
+    @property
+    def mean_latency_ms(self) -> Optional[float]:
+        latencies = [r.latency_ms for r in self.results if r.latency_ms is not None]
+        if not latencies:
+            return None
+        return sum(latencies) / len(latencies)
+
+    @property
+    def mean_bytes(self) -> float:
+        return sum(r.total_bytes for r in self.results) / len(self.results)
+
+    @property
+    def key(self) -> Tuple[int, int, int]:
+        return (self.n, self.k, self.f)
+
+
+def sweep(
+    base: ExperimentConfig,
+    *,
+    grid: Iterable[Tuple[int, int, int]],
+    runs: int = 3,
+) -> List[SweepPoint]:
+    """Run ``base`` over every ``(n, k, f)`` of ``grid`` with ``runs`` seeds."""
+    points: List[SweepPoint] = []
+    for n, k, f in grid:
+        config = replace(base, n=n, k=k, f=f)
+        results = tuple(
+            run_experiment(config.with_seed(base.seed + index)) for index in range(runs)
+        )
+        points.append(
+            SweepPoint(
+                n=n,
+                k=k,
+                f=f,
+                payload_size=base.payload_size,
+                synchronous=base.synchronous,
+                results=results,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class PairedVariation:
+    """Relative variation of a candidate vs. a reference on one grid point."""
+
+    n: int
+    k: int
+    f: int
+    latency_variation_percent: Optional[float]
+    bytes_variation_percent: float
+
+
+def paired_variations(
+    reference: ExperimentConfig,
+    candidate_mods: ModificationSet,
+    *,
+    grid: Iterable[Tuple[int, int, int]],
+    runs: int = 3,
+) -> List[PairedVariation]:
+    """Compare a candidate modification set against a reference configuration.
+
+    Both configurations are run on the same topologies and seeds; the
+    variation of mean latency and mean bytes is reported per grid point,
+    matching the per-setting measurements summarized by Table 1 and
+    Figs. 7–10.
+    """
+    variations: List[PairedVariation] = []
+    for n, k, f in grid:
+        ref_config = replace(reference, n=n, k=k, f=f)
+        cand_config = replace(ref_config, modifications=candidate_mods)
+        ref_lat: List[float] = []
+        cand_lat: List[float] = []
+        ref_bytes: List[float] = []
+        cand_bytes: List[float] = []
+        for index in range(runs):
+            seed = reference.seed + index
+            ref_result = run_experiment(ref_config.with_seed(seed))
+            cand_result = run_experiment(cand_config.with_seed(seed))
+            ref_bytes.append(ref_result.total_bytes)
+            cand_bytes.append(cand_result.total_bytes)
+            if ref_result.latency_ms is not None and cand_result.latency_ms is not None:
+                ref_lat.append(ref_result.latency_ms)
+                cand_lat.append(cand_result.latency_ms)
+        mean_ref_bytes = sum(ref_bytes) / len(ref_bytes)
+        mean_cand_bytes = sum(cand_bytes) / len(cand_bytes)
+        latency_variation = None
+        if ref_lat and cand_lat:
+            latency_variation = relative_variation_percent(
+                sum(cand_lat) / len(cand_lat), sum(ref_lat) / len(ref_lat)
+            )
+        variations.append(
+            PairedVariation(
+                n=n,
+                k=k,
+                f=f,
+                latency_variation_percent=latency_variation,
+                bytes_variation_percent=relative_variation_percent(
+                    mean_cand_bytes, mean_ref_bytes
+                ),
+            )
+        )
+    return variations
+
+
+__all__ = ["SweepPoint", "sweep", "PairedVariation", "paired_variations"]

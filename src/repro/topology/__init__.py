@@ -1,0 +1,37 @@
+"""Communication-graph generation and analysis.
+
+The paper evaluates the protocols on random regular graphs generated with
+NetworkX and filtered so that their vertex connectivity is at least
+``2f + 1``.  This package provides that workload generator plus a few
+deterministic topologies (Harary graphs, rings, complete graphs, …) used
+by the tests, and analysis helpers (vertex connectivity, disjoint-path
+counts) used to validate that a topology meets the protocol requirements.
+"""
+
+from repro.topology.generators import (
+    Topology,
+    complete_topology,
+    harary_topology,
+    line_topology,
+    random_regular_topology,
+    ring_topology,
+    torus_topology,
+)
+from repro.topology.analysis import (
+    disjoint_path_count,
+    meets_connectivity_requirement,
+    vertex_connectivity,
+)
+
+__all__ = [
+    "Topology",
+    "random_regular_topology",
+    "harary_topology",
+    "complete_topology",
+    "ring_topology",
+    "line_topology",
+    "torus_topology",
+    "vertex_connectivity",
+    "disjoint_path_count",
+    "meets_connectivity_requirement",
+]

@@ -1,0 +1,88 @@
+"""Topology analysis helpers.
+
+These functions validate that a communication graph meets the requirements
+of the protocols: Dolev's reliable communication requires the graph to be
+at least ``2f + 1``-vertex-connected (by Menger's theorem this guarantees
+``2f + 1`` vertex-disjoint paths between any two processes), while
+Bracha's protocol requires full connectivity.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.core.config import SystemConfig
+from repro.core.errors import TopologyError
+from repro.topology.generators import Topology
+
+
+def vertex_connectivity(topology: Topology) -> int:
+    """Vertex connectivity of the communication graph."""
+    return topology.vertex_connectivity()
+
+
+def meets_connectivity_requirement(topology: Topology, config: SystemConfig) -> bool:
+    """Whether the graph is at least ``2f + 1``-vertex-connected."""
+    if config.f == 0:
+        return nx.is_connected(topology.to_networkx()) if topology.n > 1 else True
+    return topology.vertex_connectivity() >= config.min_connectivity
+
+
+def require_connectivity(topology: Topology, config: SystemConfig) -> None:
+    """Raise :class:`TopologyError` unless the graph is ``2f + 1``-connected."""
+    if not meets_connectivity_requirement(topology, config):
+        raise TopologyError(
+            f"the topology has vertex connectivity {topology.vertex_connectivity()} "
+            f"but f={config.f} requires at least {config.min_connectivity}"
+        )
+
+
+def disjoint_path_count(topology: Topology, source: int, target: int) -> int:
+    """Number of vertex-disjoint paths between ``source`` and ``target``.
+
+    A direct edge counts as one path.  Used by tests to validate the
+    premise of Dolev's correctness argument (Menger's theorem).
+    """
+    if source == target:
+        raise TopologyError("source and target must differ")
+    graph = topology.to_networkx()
+    if graph.has_edge(source, target):
+        # ``node_disjoint_paths`` requires non-adjacent endpoints; remove the
+        # edge, count internally-disjoint paths, then add the direct edge back.
+        graph = graph.copy()
+        graph.remove_edge(source, target)
+        if not nx.has_path(graph, source, target):
+            return 1
+        return 1 + len(list(nx.node_disjoint_paths(graph, source, target)))
+    return len(list(nx.node_disjoint_paths(graph, source, target)))
+
+
+def all_pairs_min_disjoint_paths(topology: Topology) -> Tuple[int, List[Tuple[int, int]]]:
+    """Minimum number of vertex-disjoint paths over all process pairs.
+
+    Returns the minimum and the list of pairs achieving it.  Expensive
+    (all-pairs max-flow); intended for tests and small graphs.
+    """
+    minimum = None
+    witnesses: List[Tuple[int, int]] = []
+    nodes = topology.nodes
+    for i, u in enumerate(nodes):
+        for v in nodes[i + 1 :]:
+            count = disjoint_path_count(topology, u, v)
+            if minimum is None or count < minimum:
+                minimum = count
+                witnesses = [(u, v)]
+            elif count == minimum:
+                witnesses.append((u, v))
+    return (minimum if minimum is not None else 0), witnesses
+
+
+__all__ = [
+    "vertex_connectivity",
+    "meets_connectivity_requirement",
+    "require_connectivity",
+    "disjoint_path_count",
+    "all_pairs_min_disjoint_paths",
+]

@@ -1,0 +1,228 @@
+"""Topology generators used by the tests, examples and benchmarks.
+
+The central type is :class:`Topology`, an immutable view of an undirected
+communication graph: each node is a process and each edge an authenticated
+point-to-point channel (Sec. 3 of the paper).  The evaluation workload of
+the paper — random regular graphs whose vertex connectivity is at least
+``2f + 1`` — is produced by :func:`random_regular_topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Tuple
+
+import networkx as nx
+
+from repro.core.errors import TopologyError
+
+
+@dataclass(frozen=True)
+class Topology:
+    """An undirected communication graph over integer process identifiers."""
+
+    adjacency: Mapping[int, FrozenSet[int]]
+    name: str = "topology"
+    _connectivity_cache: list = field(
+        default_factory=lambda: [None], init=False, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls, nodes: Iterable[int], edges: Iterable[Tuple[int, int]], name: str = "topology"
+    ) -> "Topology":
+        """Build a topology from an explicit node and edge list."""
+        adjacency: Dict[int, set] = {node: set() for node in nodes}
+        for u, v in edges:
+            if u == v:
+                raise TopologyError(f"self-loop on process {u} is not allowed")
+            if u not in adjacency or v not in adjacency:
+                raise TopologyError(f"edge ({u}, {v}) references an unknown process")
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+        frozen = {node: frozenset(neigh) for node, neigh in adjacency.items()}
+        return cls(adjacency=frozen, name=name)
+
+    @classmethod
+    def from_networkx(cls, graph: nx.Graph, name: str = "topology") -> "Topology":
+        """Build a topology from a NetworkX graph with integer node labels."""
+        return cls.from_edges(graph.nodes(), graph.edges(), name=name)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        """Sorted tuple of process identifiers."""
+        return tuple(sorted(self.adjacency))
+
+    @property
+    def n(self) -> int:
+        """Number of processes."""
+        return len(self.adjacency)
+
+    @property
+    def edge_count(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(neigh) for neigh in self.adjacency.values()) // 2
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """Neighbors of ``node``."""
+        try:
+            return self.adjacency[node]
+        except KeyError as exc:
+            raise TopologyError(f"unknown process {node}") from exc
+
+    def degree(self, node: int) -> int:
+        """Degree of ``node``."""
+        return len(self.neighbors(node))
+
+    def min_degree(self) -> int:
+        """Smallest degree over the graph."""
+        return min(len(neigh) for neigh in self.adjacency.values())
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``u`` and ``v`` share an authenticated channel."""
+        return v in self.adjacency.get(u, frozenset())
+
+    def to_networkx(self) -> nx.Graph:
+        """Return an equivalent NetworkX graph."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.adjacency)
+        for node, neigh in self.adjacency.items():
+            graph.add_edges_from((node, other) for other in neigh if node < other)
+        return graph
+
+    def vertex_connectivity(self) -> int:
+        """Vertex connectivity of the graph (cached after the first call)."""
+        if self._connectivity_cache[0] is None:
+            graph = self.to_networkx()
+            if self.n <= 1:
+                value = 0
+            elif self.is_fully_connected():
+                value = self.n - 1
+            else:
+                value = nx.node_connectivity(graph)
+            self._connectivity_cache[0] = value
+        return self._connectivity_cache[0]
+
+    def is_fully_connected(self) -> bool:
+        """Whether every pair of processes shares a channel."""
+        return all(len(neigh) == self.n - 1 for neigh in self.adjacency.values())
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+def complete_topology(n: int) -> Topology:
+    """Fully connected topology over ``n`` processes (Bracha's assumption)."""
+    return Topology.from_networkx(nx.complete_graph(n), name=f"complete-{n}")
+
+
+def ring_topology(n: int) -> Topology:
+    """Cycle over ``n`` processes (2-connected; tolerates no Byzantine relay)."""
+    if n < 3:
+        raise TopologyError("a ring needs at least 3 processes")
+    return Topology.from_networkx(nx.cycle_graph(n), name=f"ring-{n}")
+
+
+def line_topology(n: int) -> Topology:
+    """Path graph over ``n`` processes (1-connected; used by negative tests)."""
+    if n < 2:
+        raise TopologyError("a line needs at least 2 processes")
+    return Topology.from_networkx(nx.path_graph(n), name=f"line-{n}")
+
+
+def torus_topology(rows: int, cols: int) -> Topology:
+    """2-D torus grid (4-connected for ``rows, cols >= 3``)."""
+    if rows < 3 or cols < 3:
+        raise TopologyError("a torus needs at least 3 rows and 3 columns")
+    graph = nx.grid_2d_graph(rows, cols, periodic=True)
+    relabeled = nx.convert_node_labels_to_integers(graph, ordering="sorted")
+    return Topology.from_networkx(relabeled, name=f"torus-{rows}x{cols}")
+
+
+def harary_topology(n: int, k: int) -> Topology:
+    """Harary graph ``H(k, n)``: the minimal-edge ``k``-connected graph.
+
+    Useful in tests because its vertex connectivity is exactly ``k`` by
+    construction, which exercises the tight case of the ``2f + 1``
+    connectivity requirement.
+    """
+    if k >= n:
+        raise TopologyError(f"connectivity k={k} requires more than {k} processes")
+    if k < 2:
+        raise TopologyError("a Harary graph needs k >= 2")
+    graph = nx.hkn_harary_graph(k, n)
+    return Topology.from_networkx(graph, name=f"harary-{k}-{n}")
+
+
+def random_regular_topology(
+    n: int,
+    k: int,
+    *,
+    seed: Optional[int] = None,
+    min_connectivity: Optional[int] = None,
+    max_attempts: int = 50,
+) -> Topology:
+    """Random ``k``-regular graph with vertex connectivity at least ``min_connectivity``.
+
+    This reproduces the paper's workload generator (Sec. 7.1): a random
+    regular graph built with NetworkX [36, 37], regenerated until it meets
+    the required connectivity.  By default the required connectivity is
+    ``k`` itself, which random regular graphs achieve with overwhelming
+    probability for the sizes used in the evaluation.
+
+    Parameters
+    ----------
+    n:
+        Number of processes.
+    k:
+        Degree of every process (the paper calls this the network
+        connectivity).
+    seed:
+        Seed of the generator; each retry derives a new seed from it so
+        the function stays deterministic for a given ``seed``.
+    min_connectivity:
+        Minimum acceptable vertex connectivity (defaults to ``k``).
+    max_attempts:
+        Number of regeneration attempts before giving up.
+    """
+    if k >= n:
+        raise TopologyError(f"degree k={k} must be smaller than n={n}")
+    if (n * k) % 2 != 0:
+        raise TopologyError(f"n*k must be even to build a k-regular graph (n={n}, k={k})")
+    target = k if min_connectivity is None else min_connectivity
+    if target > k:
+        raise TopologyError(
+            f"required connectivity {target} cannot exceed the degree k={k}"
+        )
+    base_seed = 0 if seed is None else seed
+    last_connectivity = -1
+    for attempt in range(max_attempts):
+        graph = nx.random_regular_graph(k, n, seed=base_seed + attempt * 7919)
+        topology = Topology.from_networkx(graph, name=f"regular-{n}-{k}-s{base_seed}")
+        last_connectivity = topology.vertex_connectivity()
+        if last_connectivity >= target:
+            return topology
+    raise TopologyError(
+        f"could not generate a {target}-connected {k}-regular graph with n={n} "
+        f"after {max_attempts} attempts (last connectivity: {last_connectivity})"
+    )
+
+
+__all__ = [
+    "Topology",
+    "complete_topology",
+    "ring_topology",
+    "line_topology",
+    "torus_topology",
+    "harary_topology",
+    "random_regular_topology",
+]

@@ -1,0 +1,85 @@
+"""Integration tests for the asyncio TCP runtime."""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.modifications import ModificationSet
+from repro.brb.bracha import BrachaBroadcast
+from repro.brb.optimized import CrossLayerBrachaDolev
+from repro.network.asyncio_runtime import AsyncioCluster
+from repro.topology.generators import complete_topology, harary_topology
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class TestAsyncioRuntime:
+    def test_cross_layer_broadcast_over_tcp(self):
+        async def scenario():
+            config = SystemConfig.for_system(5, 1)
+            topo = harary_topology(5, 3)
+            cluster = AsyncioCluster(
+                topo,
+                config,
+                lambda pid, cfg, nb: CrossLayerBrachaDolev(
+                    pid, cfg, nb, modifications=ModificationSet.all_enabled()
+                ),
+                port_base=22710,
+            )
+            await cluster.start()
+            try:
+                await cluster.broadcast(0, b"over-the-wire", bid=1)
+                assert await cluster.wait_for_all_deliveries(count=1, timeout=20)
+                for pid in topo.nodes:
+                    assert cluster.delivered_payloads(pid) == [b"over-the-wire"]
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_bracha_broadcast_over_tcp(self):
+        async def scenario():
+            config = SystemConfig.for_system(4, 1)
+            topo = complete_topology(4)
+            cluster = AsyncioCluster(
+                topo,
+                config,
+                lambda pid, cfg, nb: BrachaBroadcast(pid, cfg, nb),
+                port_base=22760,
+            )
+            await cluster.start()
+            try:
+                await cluster.broadcast(2, b"bracha-tcp", bid=0)
+                assert await cluster.wait_for_all_deliveries(count=1, timeout=20)
+                assert cluster.delivered_payloads(0) == [b"bracha-tcp"]
+            finally:
+                await cluster.stop()
+
+        run(scenario())
+
+    def test_two_sequential_broadcasts(self):
+        async def scenario():
+            config = SystemConfig.for_system(5, 1)
+            topo = harary_topology(5, 3)
+            cluster = AsyncioCluster(
+                topo,
+                config,
+                lambda pid, cfg, nb: CrossLayerBrachaDolev(
+                    pid, cfg, nb, modifications=ModificationSet.latency_and_bandwidth_optimized()
+                ),
+                port_base=22810,
+            )
+            await cluster.start()
+            try:
+                await cluster.broadcast(0, b"first", bid=1)
+                await cluster.broadcast(3, b"second", bid=1)
+                assert await cluster.wait_for_all_deliveries(count=2, timeout=20)
+                for pid in topo.nodes:
+                    assert set(cluster.delivered_payloads(pid)) == {b"first", b"second"}
+            finally:
+                await cluster.stop()
+
+        run(scenario())

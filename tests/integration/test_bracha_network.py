@@ -1,0 +1,105 @@
+"""Integration tests: Bracha's protocol on fully connected simulated networks."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.brb.bracha import BrachaBroadcast
+from repro.network.adversary import EquivocatingSource, MuteProcess
+from repro.network.simulation.delays import AsynchronousDelay, FixedDelay
+from repro.topology.generators import complete_topology
+
+from tests.conftest import run_broadcast
+
+
+def bracha_builder(pid, config, neighbors):
+    return BrachaBroadcast(pid, config, neighbors)
+
+
+class TestCorrectSource:
+    def test_all_processes_deliver(self):
+        config = SystemConfig.for_system(7, 2)
+        metrics, _ = run_broadcast(complete_topology(7), config, bracha_builder)
+        delivered = metrics.deliveries_for((0, 0))
+        assert set(delivered) == set(range(7))
+        assert set(delivered.values()) == {b"test-payload"}
+
+    def test_latency_is_three_rounds(self):
+        config = SystemConfig.for_system(4, 1)
+        metrics, _ = run_broadcast(
+            complete_topology(4), config, bracha_builder, delay_model=FixedDelay(50.0)
+        )
+        assert metrics.delivery_latency((0, 0), range(4)) == pytest.approx(150.0)
+
+    def test_message_complexity_is_quadratic(self):
+        # SEND: N-1, ECHO: N(N-1), READY: N(N-1) messages.
+        n = 6
+        config = SystemConfig.for_system(n, 1)
+        metrics, _ = run_broadcast(complete_topology(n), config, bracha_builder)
+        assert metrics.message_count == (n - 1) + 2 * n * (n - 1)
+
+    def test_asynchronous_network_still_delivers(self):
+        config = SystemConfig.for_system(7, 2)
+        metrics, _ = run_broadcast(
+            complete_topology(7),
+            config,
+            bracha_builder,
+            delay_model=AsynchronousDelay(20.0, 20.0),
+            seed=11,
+        )
+        assert len(metrics.deliveries_for((0, 0))) == 7
+
+    def test_multiple_broadcast_ids_delivered_independently(self):
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        from repro.network.simulation.network import SimulatedNetwork
+
+        network = SimulatedNetwork(topo, protocols, delay_model=FixedDelay(5.0))
+        network.broadcast(0, b"first", 0)
+        network.broadcast(0, b"second", 1)
+        network.broadcast(2, b"third", 0)
+        metrics = network.run()
+        assert set(metrics.deliveries_for((0, 0)).values()) == {b"first"}
+        assert set(metrics.deliveries_for((0, 1)).values()) == {b"second"}
+        assert set(metrics.deliveries_for((2, 0)).values()) == {b"third"}
+        assert len(metrics.deliveries_for((0, 1))) == 4
+
+
+class TestByzantineFaults:
+    def test_mute_processes_do_not_prevent_delivery(self):
+        config = SystemConfig.for_system(7, 2)
+        byzantine = {5: MuteProcess(5, list(range(5)) + [6]), 6: MuteProcess(6, list(range(6)))}
+        metrics, _ = run_broadcast(
+            complete_topology(7), config, bracha_builder, byzantine=byzantine
+        )
+        delivered = metrics.deliveries_for((0, 0))
+        assert set(range(5)) <= set(delivered)
+
+    def test_equivocating_source_never_splits_correct_processes(self):
+        config = SystemConfig.for_system(7, 2)
+        topo = complete_topology(7)
+        byzantine = {0: EquivocatingSource(0, list(range(1, 7)), family="bracha")}
+        metrics, _ = run_broadcast(
+            topo, config, bracha_builder, byzantine=byzantine, source=0
+        )
+        payloads = set(metrics.deliveries_for((0, 0)).values())
+        # BRB-Agreement: at most one value is delivered by correct processes.
+        assert len(payloads) <= 1
+
+    def test_no_delivery_without_source_broadcast(self):
+        # BRB-Integrity: nothing is delivered if nothing was broadcast.
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        from repro.network.simulation.network import SimulatedNetwork
+
+        network = SimulatedNetwork(topo, protocols)
+        metrics = network.run()
+        assert metrics.message_count == 0
+        assert not metrics.delivery_times

@@ -1,0 +1,136 @@
+"""Integration tests: Dolev reliable communication on partially connected graphs."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.modifications import ModificationSet
+from repro.brb.dolev import DolevBroadcast
+from repro.network.adversary import MuteProcess, PathForgingRelay
+from repro.topology.generators import harary_topology, random_regular_topology, ring_topology
+
+from tests.conftest import run_broadcast
+
+
+def dolev_builder(mods):
+    def build(pid, config, neighbors):
+        return DolevBroadcast(pid, config, neighbors, modifications=mods)
+
+    return build
+
+
+class TestReliableCommunication:
+    @pytest.mark.parametrize(
+        "mods",
+        [ModificationSet.none(), ModificationSet.dolev_optimized()],
+        ids=["plain", "md1-5"],
+    )
+    def test_all_processes_rc_deliver(self, mods):
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 3)
+        metrics, protocols = run_broadcast(topo, config, dolev_builder(mods))
+        assert all(p.delivered.get((0, 0)) == b"test-payload" for p in protocols.values())
+
+    def test_optimizations_reduce_message_count(self):
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 3)
+        plain, _ = run_broadcast(topo, config, dolev_builder(ModificationSet.none()))
+        optimized, _ = run_broadcast(
+            topo, config, dolev_builder(ModificationSet.dolev_optimized())
+        )
+        assert optimized.message_count < plain.message_count
+        assert optimized.total_bytes < plain.total_bytes
+
+    def test_mbd10_superpath_filter_never_increases_traffic(self):
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 3)
+        base = ModificationSet.dolev_optimized()
+        with_filter = base.with_enabled("mbd10_ignore_superpaths")
+        reference, _ = run_broadcast(topo, config, dolev_builder(base))
+        filtered, _ = run_broadcast(topo, config, dolev_builder(with_filter))
+        assert filtered.message_count <= reference.message_count
+
+    def test_delivery_on_exactly_2f_plus_1_connected_graph(self):
+        # Tight case: f = 1 requires 3-connectivity; the Harary graph H(3, 8)
+        # is exactly 3-connected.
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 3)
+        assert topo.vertex_connectivity() == 3
+        metrics, protocols = run_broadcast(
+            topo, config, dolev_builder(ModificationSet.dolev_optimized())
+        )
+        assert all((0, 0) in p.delivered for p in protocols.values())
+
+    def test_under_connected_graph_does_not_deliver_everywhere(self):
+        # A ring is only 2-connected: with f = 1 some processes cannot gather
+        # f+1 = 2 disjoint paths once a relay stays mute.
+        config = SystemConfig.for_system(8, 1)
+        topo = ring_topology(8)
+        byzantine = {4: MuteProcess(4, sorted(topo.neighbors(4)))}
+        metrics, protocols = run_broadcast(
+            topo, config, dolev_builder(ModificationSet.dolev_optimized()), byzantine=byzantine
+        )
+        undelivered = [
+            pid for pid, p in protocols.items() if pid != 4 and (0, 0) not in getattr(p, "delivered", {})
+        ]
+        assert undelivered  # at least the node "behind" the mute relay misses out
+
+    def test_mute_relays_tolerated_on_well_connected_graph(self):
+        config = SystemConfig.for_system(10, 2)
+        topo = random_regular_topology(10, 5, seed=4)
+        mute = [3, 7]
+        byzantine = {pid: MuteProcess(pid, sorted(topo.neighbors(pid))) for pid in mute}
+        metrics, protocols = run_broadcast(
+            topo, config, dolev_builder(ModificationSet.dolev_optimized()), byzantine=byzantine
+        )
+        for pid, protocol in protocols.items():
+            if pid in mute:
+                continue
+            assert protocol.delivered.get((0, 0)) == b"test-payload"
+
+    def test_path_forging_relays_cannot_forge_delivery_of_wrong_payload(self):
+        config = SystemConfig.for_system(10, 2)
+        topo = random_regular_topology(10, 5, seed=4)
+        forgers = [3, 7]
+        byzantine = {
+            pid: PathForgingRelay(
+                DolevBroadcast(
+                    pid,
+                    config,
+                    sorted(topo.neighbors(pid)),
+                    modifications=ModificationSet.dolev_optimized(),
+                ),
+                config,
+                seed=pid,
+            )
+            for pid in forgers
+        }
+        metrics, protocols = run_broadcast(
+            topo, config, dolev_builder(ModificationSet.dolev_optimized()), byzantine=byzantine
+        )
+        for pid, protocol in protocols.items():
+            if pid in forgers:
+                continue
+            # RC-Integrity: only the genuine payload is ever delivered.
+            assert protocol.delivered.get((0, 0)) in (None, b"test-payload")
+            assert len(protocol.delivered) <= 1
+
+    def test_repeated_broadcasts_have_distinct_ids(self):
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 3)
+        from repro.network.simulation.network import SimulatedNetwork
+
+        protocols = {
+            pid: DolevBroadcast(
+                pid,
+                config,
+                sorted(topo.neighbors(pid)),
+                modifications=ModificationSet.dolev_optimized(),
+            )
+            for pid in topo.nodes
+        }
+        network = SimulatedNetwork(topo, protocols)
+        network.broadcast(0, b"round-1", 1)
+        network.broadcast(0, b"round-2", 2)
+        network.run()
+        assert all(p.delivered[(0, 1)] == b"round-1" for p in protocols.values())
+        assert all(p.delivered[(0, 2)] == b"round-2" for p in protocols.values())

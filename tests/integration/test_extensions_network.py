@@ -1,0 +1,117 @@
+"""Integration tests for the extension substrates (routed Dolev, CPA, Bracha-CPA)."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.brb.cpa import BrachaCPABroadcast, CPABroadcast, cpa_can_complete
+from repro.brb.dolev_routed import RoutedDolevBroadcast
+from repro.network.adversary import EquivocatingSource, MuteProcess
+from repro.topology.generators import harary_topology, torus_topology
+
+from tests.conftest import run_broadcast
+
+
+class TestRoutedDolevNetwork:
+    def _builder(self, topology):
+        def build(pid, config, neighbors):
+            return RoutedDolevBroadcast(pid, config, neighbors, topology)
+
+        return build
+
+    def test_all_processes_deliver(self):
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 4)
+        metrics, protocols = run_broadcast(topo, config, self._builder(topo))
+        assert all(p.delivered.get((0, 0)) == b"test-payload" for p in protocols.values())
+
+    def test_fewer_messages_than_flooding(self):
+        from repro.brb.dolev import DolevBroadcast
+        from repro.core.modifications import ModificationSet
+
+        config = SystemConfig.for_system(8, 1)
+        topo = harary_topology(8, 4)
+        routed, _ = run_broadcast(topo, config, self._builder(topo))
+        flooding, _ = run_broadcast(
+            topo,
+            config,
+            lambda pid, cfg, nb: DolevBroadcast(
+                pid, cfg, nb, modifications=ModificationSet.none()
+            ),
+        )
+        assert routed.message_count < flooding.message_count
+
+    def test_mute_relays_tolerated(self):
+        config = SystemConfig.for_system(10, 2)
+        topo = harary_topology(10, 5)
+        byzantine = {
+            pid: MuteProcess(pid, sorted(topo.neighbors(pid))) for pid in (3, 7)
+        }
+        metrics, protocols = run_broadcast(
+            topo, config, self._builder(topo), byzantine=byzantine
+        )
+        for pid, protocol in protocols.items():
+            if pid in (3, 7):
+                continue
+            assert protocol.delivered.get((0, 0)) == b"test-payload"
+
+
+class TestCPANetwork:
+    def test_cpa_delivers_on_completable_topology(self):
+        topo = torus_topology(4, 4)
+        config = SystemConfig.for_system(16, 1)
+        assert cpa_can_complete(topo, source=0, t=1)
+        metrics, protocols = run_broadcast(
+            topo,
+            config,
+            lambda pid, cfg, nb: CPABroadcast(pid, cfg, nb, t=1),
+        )
+        assert all(p.delivered.get((0, 0)) == b"test-payload" for p in protocols.values())
+
+    def test_cpa_tolerates_locally_bounded_mute_fault(self):
+        topo = torus_topology(4, 4)
+        config = SystemConfig.for_system(16, 1)
+        # One mute process: every correct process still has at most t=1 faulty
+        # neighbor, so certified propagation goes around it.
+        byzantine = {5: MuteProcess(5, sorted(topo.neighbors(5)))}
+        metrics, protocols = run_broadcast(
+            topo,
+            config,
+            lambda pid, cfg, nb: CPABroadcast(pid, cfg, nb, t=1),
+            byzantine=byzantine,
+        )
+        for pid, protocol in protocols.items():
+            if pid == 5:
+                continue
+            assert protocol.delivered.get((0, 0)) == b"test-payload"
+
+    def test_bracha_cpa_provides_brb(self):
+        topo = torus_topology(4, 4)
+        config = SystemConfig.for_system(16, 1)
+        metrics, _ = run_broadcast(
+            topo,
+            config,
+            lambda pid, cfg, nb: BrachaCPABroadcast(pid, cfg, nb, t=1),
+        )
+        delivered = metrics.deliveries_for((0, 0))
+        assert set(delivered) == set(topo.nodes)
+        assert set(delivered.values()) == {b"test-payload"}
+
+    def test_bracha_cpa_agreement_under_equivocation(self):
+        topo = torus_topology(4, 4)
+        config = SystemConfig.for_system(16, 1)
+        byzantine = {
+            0: EquivocatingSource(0, sorted(topo.neighbors(0)), family="bracha_dolev")
+        }
+        metrics, _ = run_broadcast(
+            topo,
+            config,
+            lambda pid, cfg, nb: BrachaCPABroadcast(pid, cfg, nb, t=1),
+            byzantine=byzantine,
+            source=0,
+        )
+        values = {
+            payload
+            for pid, payload in metrics.deliveries_for((0, 0)).items()
+            if pid != 0
+        }
+        assert len(values) <= 1

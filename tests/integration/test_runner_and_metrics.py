@@ -1,0 +1,151 @@
+"""Integration tests for the experiment runner, sweeps and metric trends."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.core.modifications import ModificationSet
+from repro.runner.configs import PROTOCOL_CONFIGURATIONS, modification_set_for, protocol_factory
+from repro.runner.experiment import ExperimentConfig, run_experiment, run_repeated
+from repro.runner.sweep import paired_variations, sweep
+
+
+class TestRunner:
+    def test_basic_run_delivers_everywhere(self):
+        config = ExperimentConfig(n=10, k=5, f=2, payload_size=64)
+        result = run_experiment(config)
+        assert result.all_correct_delivered
+        assert result.latency_ms is not None and result.latency_ms > 0
+        assert result.total_bytes > 0
+        assert result.total_kilobytes == pytest.approx(result.total_bytes / 1000.0)
+
+    def test_deterministic_for_seed(self):
+        config = ExperimentConfig(n=10, k=5, f=2, seed=42)
+        a = run_experiment(config)
+        b = run_experiment(config)
+        assert a.total_bytes == b.total_bytes
+        assert a.latency_ms == b.latency_ms
+
+    def test_different_seeds_vary_topology(self):
+        base = ExperimentConfig(n=12, k=5, f=2)
+        results = run_repeated(base, runs=3)
+        assert len(results) == 3
+        assert len({r.total_bytes for r in results}) >= 2
+
+    def test_byzantine_mute_processes(self):
+        config = ExperimentConfig(n=10, k=5, f=2, byzantine=(("mute", 2),))
+        result = run_experiment(config)
+        assert len(result.correct_processes) == 8
+        assert result.all_correct_delivered
+
+    def test_too_many_byzantine_rejected(self):
+        config = ExperimentConfig(n=10, k=5, f=2, byzantine=(("mute", 3),))
+        with pytest.raises(ConfigurationError):
+            run_experiment(config)
+
+    def test_payload_size_respected(self):
+        config = ExperimentConfig(n=7, k=4, f=1, payload_size=1024)
+        assert len(config.payload()) == 1024
+        assert len(ExperimentConfig(n=7, k=4, f=1, payload_size=0).payload()) == 0
+
+    def test_asynchronous_setting(self):
+        config = ExperimentConfig(n=8, k=5, f=1, synchronous=False, seed=5)
+        result = run_experiment(config)
+        assert result.all_correct_delivered
+
+    def test_bracha_family_uses_complete_graph(self):
+        config = ExperimentConfig(n=7, k=4, f=2, protocol="bracha")
+        result = run_experiment(config)
+        assert result.all_correct_delivered
+
+    def test_state_size_metric_exposed(self):
+        config = ExperimentConfig(n=8, k=5, f=1)
+        result = run_experiment(config)
+        assert result.peak_state_size > 0
+
+
+class TestConfigurations:
+    def test_named_configurations_cover_all_single_modifications(self):
+        for index in range(2, 13):
+            assert f"mbd{index}" in PROTOCOL_CONFIGURATIONS
+
+    def test_modification_set_for_names(self):
+        assert modification_set_for("BDopt") == ModificationSet.dolev_optimized()
+        assert modification_set_for("mbd7") == ModificationSet.single_mbd(7)
+        assert modification_set_for("lat & bdw") == (
+            ModificationSet.latency_and_bandwidth_optimized()
+        )
+        assert modification_set_for("bd") == ModificationSet.none()
+        assert modification_set_for("all") == ModificationSet.all_enabled()
+
+    def test_modification_set_for_unknown_name(self):
+        with pytest.raises(ValueError):
+            modification_set_for("nonsense")
+
+    def test_protocol_factory_unknown_family(self):
+        with pytest.raises(ValueError):
+            protocol_factory("unknown-family")
+
+
+class TestTrends:
+    """Coarse-grained checks that the headline effects of the paper hold."""
+
+    def test_mbd1_reduces_network_consumption_by_more_than_90_percent(self):
+        base = ExperimentConfig(n=12, k=7, f=2, payload_size=1024, seed=2)
+        reference = run_experiment(base)
+        candidate = run_experiment(
+            ExperimentConfig(
+                n=12, k=7, f=2, payload_size=1024, seed=2,
+                modifications=ModificationSet.bdopt_with_mbd1(),
+            )
+        )
+        reduction = 1 - candidate.total_bytes / reference.total_bytes
+        assert reduction > 0.90
+
+    def test_bandwidth_configuration_reduces_bytes_beyond_mbd1(self):
+        base = ExperimentConfig(
+            n=12, k=7, f=2, payload_size=1024, seed=3,
+            modifications=ModificationSet.bdopt_with_mbd1(),
+        )
+        reference = run_experiment(base)
+        candidate = run_experiment(
+            ExperimentConfig(
+                n=12, k=7, f=2, payload_size=1024, seed=3,
+                modifications=ModificationSet.bandwidth_optimized(),
+            )
+        )
+        assert candidate.total_bytes < reference.total_bytes
+
+    def test_mbd11_reduces_messages(self):
+        base = ExperimentConfig(
+            n=12, k=7, f=2, payload_size=1024, seed=4,
+            modifications=ModificationSet.bdopt_with_mbd1(),
+        )
+        reference = run_experiment(base)
+        candidate = run_experiment(
+            ExperimentConfig(
+                n=12, k=7, f=2, payload_size=1024, seed=4,
+                modifications=ModificationSet.single_mbd(11),
+            )
+        )
+        assert candidate.message_count < reference.message_count
+
+    def test_sweep_produces_points_for_every_grid_entry(self):
+        base = ExperimentConfig(n=8, k=5, f=1, payload_size=16)
+        points = sweep(base, grid=[(8, 5, 1), (10, 5, 2)], runs=2)
+        assert [p.key for p in points] == [(8, 5, 1), (10, 5, 2)]
+        assert all(p.mean_latency_ms is not None for p in points)
+        assert all(p.mean_bytes > 0 for p in points)
+
+    def test_paired_variations_report_byte_savings(self):
+        reference = ExperimentConfig(
+            n=10, k=5, f=2, payload_size=1024,
+            modifications=ModificationSet.bdopt_with_mbd1(),
+        )
+        variations = paired_variations(
+            reference,
+            ModificationSet.single_mbd(7),
+            grid=[(10, 5, 2)],
+            runs=2,
+        )
+        assert len(variations) == 1
+        assert variations[0].bytes_variation_percent < 5.0  # MBD.7 should not cost bytes

@@ -1,0 +1,108 @@
+"""Property-based tests of the BRB guarantees on randomized systems.
+
+Each example draws a system size, fault threshold, connectivity,
+modification subset, delay model and Byzantine placement, runs one
+broadcast on a simulated network and checks the BRB properties.  The
+sizes are kept small so each example runs in a few milliseconds.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SystemConfig
+from repro.core.modifications import MBD_FIELD_NAMES, ModificationSet
+from repro.brb.optimized import CrossLayerBrachaDolev
+from repro.network.adversary import EquivocatingSource, MuteProcess
+from repro.network.simulation.delays import AsynchronousDelay, FixedDelay
+from repro.network.simulation.network import SimulatedNetwork
+from repro.topology.generators import random_regular_topology
+
+
+mbd_subsets = st.sets(st.sampled_from(sorted(MBD_FIELD_NAMES.values())), max_size=12)
+
+
+def build_modifications(names) -> ModificationSet:
+    return ModificationSet.dolev_optimized().with_enabled(*names)
+
+
+def run_one(n, k, f, mods, seed, asynchronous, byzantine_pids=(), equivocating=False):
+    config = SystemConfig.for_system(n, f)
+    topology = random_regular_topology(n, k, seed=seed, min_connectivity=min(k, 2 * f + 1))
+    protocols = {}
+    for pid in topology.nodes:
+        neighbors = sorted(topology.neighbors(pid))
+        if equivocating and pid == 0:
+            protocols[pid] = EquivocatingSource(pid, neighbors, family="cross_layer")
+        elif pid in byzantine_pids:
+            protocols[pid] = MuteProcess(pid, neighbors)
+        else:
+            protocols[pid] = CrossLayerBrachaDolev(
+                pid, config, neighbors, modifications=mods
+            )
+    delay = AsynchronousDelay(10.0, 10.0) if asynchronous else FixedDelay(10.0)
+    network = SimulatedNetwork(topology, protocols, delay_model=delay, seed=seed)
+    network.broadcast(0, b"property-payload", 0)
+    metrics = network.run(max_events=400_000)
+    correct = [p for p in topology.nodes if p not in byzantine_pids and not (equivocating and p == 0)]
+    return metrics, correct
+
+
+class TestBRBProperties:
+    @given(
+        mods_names=mbd_subsets,
+        seed=st.integers(min_value=0, max_value=10_000),
+        asynchronous=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_validity_and_agreement_with_correct_source(self, mods_names, seed, asynchronous):
+        mods = build_modifications(mods_names)
+        metrics, correct = run_one(8, 5, 1, mods, seed, asynchronous)
+        delivered = metrics.deliveries_for((0, 0))
+        # BRB-Validity: every correct process delivers the broadcast payload.
+        assert set(correct) <= set(delivered)
+        # BRB-Integrity / Agreement: they all deliver the same, genuine value.
+        assert {delivered[pid] for pid in correct} == {b"property-payload"}
+
+    @given(
+        mods_names=mbd_subsets,
+        seed=st.integers(min_value=0, max_value=10_000),
+        byzantine=st.sets(st.integers(min_value=1, max_value=9), min_size=0, max_size=2),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_mute_byzantine_processes_never_block_delivery(self, mods_names, seed, byzantine):
+        mods = build_modifications(mods_names)
+        metrics, correct = run_one(10, 5, 2, mods, seed, False, byzantine_pids=byzantine)
+        delivered = metrics.deliveries_for((0, 0))
+        assert set(correct) <= set(delivered)
+        assert {delivered[pid] for pid in correct} == {b"property-payload"}
+
+    @given(
+        mods_names=mbd_subsets,
+        seed=st.integers(min_value=0, max_value=10_000),
+        asynchronous=st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_agreement_under_equivocating_source(self, mods_names, seed, asynchronous):
+        mods = build_modifications(mods_names)
+        metrics, correct = run_one(8, 5, 1, mods, seed, asynchronous, equivocating=True)
+        delivered = metrics.deliveries_for((0, 0))
+        values = {delivered[pid] for pid in correct if pid in delivered}
+        # BRB-Agreement: correct processes never deliver conflicting values.
+        assert len(values) <= 1
+
+    @given(
+        mods_names=mbd_subsets,
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_modifications_never_change_what_is_delivered(self, mods_names, seed):
+        """Optimizations change cost, not outcomes (same deliveries as BDopt)."""
+        mods = build_modifications(mods_names)
+        reference_metrics, correct = run_one(
+            8, 5, 1, ModificationSet.dolev_optimized(), seed, False
+        )
+        candidate_metrics, _ = run_one(8, 5, 1, mods, seed, False)
+        reference = reference_metrics.deliveries_for((0, 0))
+        candidate = candidate_metrics.deliveries_for((0, 0))
+        assert {pid: reference[pid] for pid in correct} == {
+            pid: candidate[pid] for pid in correct
+        }

@@ -1,0 +1,133 @@
+"""Unit tests for the Byzantine behaviour library."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.events import SendTo, sends
+from repro.core.messages import CrossLayerMessage, DolevMessage, MessageType
+from repro.core.modifications import ModificationSet
+from repro.brb.optimized import CrossLayerBrachaDolev
+from repro.network.adversary import (
+    CrashingProcess,
+    EquivocatingSource,
+    MessageDroppingRelay,
+    MuteProcess,
+    PathForgingRelay,
+)
+
+
+def correct_protocol(pid=1, n=7, f=1, neighbors=(0, 2, 3)):
+    config = SystemConfig.for_system(n, f)
+    return CrossLayerBrachaDolev(
+        pid, config, list(neighbors), modifications=ModificationSet.dolev_optimized()
+    )
+
+
+def sample_echo(path=()):
+    return CrossLayerMessage(
+        mtype=MessageType.ECHO, source=0, bid=0, creator=0, payload=b"m", path=path
+    )
+
+
+class TestMuteProcess:
+    def test_never_sends(self):
+        mute = MuteProcess(1, [0, 2])
+        assert mute.broadcast(b"x") == []
+        assert mute.on_message(0, sample_echo()) == []
+        assert mute.on_start() == []
+        assert mute.state_size_estimate() == 0
+
+
+class TestCrashingProcess:
+    def test_behaves_correctly_before_crash(self):
+        crashing = CrashingProcess(correct_protocol(), crash_after=100)
+        assert not crashing.crashed
+        assert crashing.on_message(0, sample_echo())  # forwards/relays something
+
+    def test_stops_after_crash_point(self):
+        crashing = CrashingProcess(correct_protocol(), crash_after=1)
+        crashing.on_message(0, sample_echo())
+        assert crashing.crashed
+        assert crashing.on_message(0, sample_echo(path=(5,))) == []
+        assert crashing.broadcast(b"x") == []
+
+    def test_negative_crash_point_rejected(self):
+        with pytest.raises(ValueError):
+            CrashingProcess(correct_protocol(), crash_after=-1)
+
+
+class TestMessageDroppingRelay:
+    def test_drop_probability_validated(self):
+        with pytest.raises(ValueError):
+            MessageDroppingRelay(correct_protocol(), drop_probability=1.5)
+
+    def test_drop_all(self):
+        dropper = MessageDroppingRelay(correct_protocol(), drop_probability=1.0)
+        assert sends(dropper.on_message(0, sample_echo())) == ()
+        assert dropper.dropped > 0
+
+    def test_drop_none_is_transparent(self):
+        inner = correct_protocol()
+        reference = correct_protocol()
+        dropper = MessageDroppingRelay(inner, drop_probability=0.0)
+        assert len(sends(dropper.on_message(0, sample_echo()))) == len(
+            sends(reference.on_message(0, sample_echo()))
+        )
+
+
+class TestPathForgingRelay:
+    def test_paths_are_rewritten(self):
+        config = SystemConfig.for_system(7, 1)
+        forger = PathForgingRelay(correct_protocol(), config, seed=3)
+        commands = sends(forger.on_message(0, sample_echo(path=(4, 5))))
+        assert commands
+        assert forger.forged > 0
+        for command in commands:
+            message = command.message
+            if isinstance(message, CrossLayerMessage) and message.path is not None:
+                assert all(config.is_process(p) for p in message.path)
+
+    def test_dolev_messages_also_forged(self):
+        class _Passthrough:
+            process_id = 1
+            neighbors = (0, 2)
+
+            def on_message(self, sender, message):
+                return [SendTo(dest=2, message=message)]
+
+            def on_start(self):
+                return []
+
+            def broadcast(self, payload, bid=0):
+                return []
+
+        config = SystemConfig.for_system(5, 1)
+        forger = PathForgingRelay(_Passthrough(), config, seed=1)
+        message = DolevMessage(content=b"x", path=(3, 4))
+        out = sends(forger.on_message(0, message))
+        assert out and isinstance(out[0].message, DolevMessage)
+
+
+class TestEquivocatingSource:
+    def test_sends_conflicting_payloads(self):
+        source = EquivocatingSource(0, [1, 2, 3, 4], family="cross_layer")
+        commands = sends(source.broadcast(b"value-a", bid=0))
+        payloads = {c.message.payload for c in commands}
+        assert len(commands) == 4
+        assert len(payloads) == 2
+
+    def test_explicit_conflicting_payload(self):
+        source = EquivocatingSource(
+            0, [1, 2], family="bracha", conflicting_payload=b"evil"
+        )
+        commands = sends(source.broadcast(b"good", bid=0))
+        assert {c.message.payload for c in commands} == {b"good", b"evil"}
+
+    def test_bracha_dolev_family_wraps_in_dolev_message(self):
+        source = EquivocatingSource(0, [1, 2], family="bracha_dolev")
+        commands = sends(source.broadcast(b"x", bid=0))
+        assert all(isinstance(c.message, DolevMessage) for c in commands)
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            EquivocatingSource(0, [1], family="unknown")

@@ -1,0 +1,122 @@
+"""Unit tests for :mod:`repro.core.config`."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_for_system_builds_contiguous_ids(self):
+        config = SystemConfig.for_system(5, 1)
+        assert config.processes == (0, 1, 2, 3, 4)
+        assert config.n == 5
+        assert config.f == 1
+
+    def test_from_processes_sorts_and_deduplicates(self):
+        config = SystemConfig.from_processes([3, 1, 2, 1], f=0)
+        assert config.processes == (1, 2, 3)
+        assert config.n == 3
+
+    def test_empty_process_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.from_processes([], f=0)
+
+    def test_negative_f_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.for_system(4, -1)
+
+    def test_negative_process_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.from_processes([-1, 0, 1], f=0)
+
+    def test_is_process(self):
+        config = SystemConfig.from_processes([0, 2, 4], f=0)
+        assert config.is_process(2)
+        assert not config.is_process(1)
+        assert not config.is_process(5)
+
+
+class TestQuorums:
+    def test_echo_quorum_matches_bracha_formula(self):
+        # ⌈(N + f + 1) / 2⌉
+        assert SystemConfig.for_system(10, 3).echo_quorum == 7
+        assert SystemConfig.for_system(7, 2).echo_quorum == 5
+        assert SystemConfig.for_system(4, 1).echo_quorum == 3
+
+    def test_ready_amplification_is_f_plus_one(self):
+        assert SystemConfig.for_system(10, 3).ready_amplification_threshold == 4
+
+    def test_echo_amplification_is_f_plus_one(self):
+        assert SystemConfig.for_system(10, 3).echo_amplification_threshold == 4
+
+    def test_delivery_quorum_is_two_f_plus_one(self):
+        assert SystemConfig.for_system(10, 3).delivery_quorum == 7
+        assert SystemConfig.for_system(4, 1).delivery_quorum == 3
+
+    def test_disjoint_paths_required_is_f_plus_one(self):
+        assert SystemConfig.for_system(10, 3).disjoint_paths_required == 4
+
+    def test_min_connectivity_is_two_f_plus_one(self):
+        assert SystemConfig.for_system(10, 3).min_connectivity == 7
+
+    def test_f_zero_degenerates_gracefully(self):
+        config = SystemConfig.for_system(3, 0)
+        assert config.delivery_quorum == 1
+        assert config.disjoint_paths_required == 1
+        assert config.echo_quorum == 2
+
+
+class TestResilience:
+    def test_resilience_bound_accepts_f_below_n_third(self):
+        assert SystemConfig.for_system(4, 1).satisfies_bracha_resilience()
+        assert SystemConfig.for_system(10, 3).satisfies_bracha_resilience()
+
+    def test_resilience_bound_rejects_n_equal_three_f(self):
+        assert not SystemConfig.for_system(9, 3).satisfies_bracha_resilience()
+
+    def test_require_resilience_raises(self):
+        with pytest.raises(ConfigurationError):
+            SystemConfig.for_system(6, 2).require_bracha_resilience()
+
+    def test_require_resilience_passes(self):
+        SystemConfig.for_system(7, 2).require_bracha_resilience()
+
+
+class TestRoleAssignment:
+    """MBD.11 role selection (Sec. 6.5)."""
+
+    def test_echo_generators_count(self):
+        config = SystemConfig.for_system(10, 2)
+        roles = config.echo_generators(source=0)
+        assert len(roles) == min(config.echo_quorum + config.f, config.n)
+
+    def test_ready_generators_count_is_three_f_plus_one(self):
+        config = SystemConfig.for_system(10, 2)
+        assert len(config.ready_generators(source=0)) == 3 * config.f + 1
+
+    def test_roles_rotate_with_source(self):
+        config = SystemConfig.for_system(10, 2)
+        assert config.ready_generators(0) != config.ready_generators(5)
+
+    def test_roles_start_after_source(self):
+        config = SystemConfig.for_system(10, 2)
+        roles = config.ready_generators(3)
+        assert 4 in roles  # the first process after the source is selected
+
+    def test_tight_case_selects_everyone(self):
+        # With N = 3f + 1 all processes participate in every phase.
+        config = SystemConfig.for_system(7, 2)
+        assert config.ready_generators(0) == frozenset(config.processes)
+        assert config.echo_generators(0) == frozenset(config.processes)
+
+    def test_unknown_source_still_returns_total_assignment(self):
+        config = SystemConfig.for_system(10, 2)
+        roles = config.echo_generators(source=99)
+        assert len(roles) == min(config.echo_quorum + config.f, config.n)
+
+    def test_generators_are_valid_processes(self):
+        config = SystemConfig.for_system(13, 3)
+        for source in config.processes:
+            assert config.echo_generators(source) <= set(config.processes)
+            assert config.ready_generators(source) <= set(config.processes)

@@ -1,0 +1,97 @@
+"""Unit tests for the binary message codec."""
+
+import pytest
+
+from repro.core.encoding import decode_message, encode_message
+from repro.core.errors import EncodingError
+from repro.core.messages import (
+    BrachaMessage,
+    CrossLayerMessage,
+    DolevMessage,
+    MessageType,
+)
+
+
+class TestRoundTrips:
+    def test_bracha_send_roundtrip(self):
+        message = BrachaMessage(MessageType.SEND, source=3, bid=8, payload=b"hello")
+        assert decode_message(encode_message(message)) == message
+
+    def test_bracha_echo_with_creator_roundtrip(self):
+        message = BrachaMessage(MessageType.ECHO, 3, 8, b"hello", creator=5)
+        assert decode_message(encode_message(message)) == message
+
+    def test_dolev_raw_roundtrip(self):
+        message = DolevMessage(content=b"\x00\x01\x02", path=(4, 5, 6))
+        assert decode_message(encode_message(message)) == message
+
+    def test_dolev_with_bracha_content_roundtrip(self):
+        inner = BrachaMessage(MessageType.READY, 1, 2, b"xyz", creator=9)
+        message = DolevMessage(content=inner, path=())
+        assert decode_message(encode_message(message)) == message
+
+    def test_cross_layer_minimal_roundtrip(self):
+        message = CrossLayerMessage(mtype=MessageType.READY)
+        assert decode_message(encode_message(message)) == message
+
+    def test_cross_layer_full_roundtrip(self):
+        message = CrossLayerMessage(
+            mtype=MessageType.READY_ECHO,
+            source=1,
+            bid=2,
+            creator=3,
+            embedded_creator=4,
+            payload=b"payload-data",
+            local_payload_id=77,
+            path=(9, 8, 7),
+        )
+        assert decode_message(encode_message(message)) == message
+
+    def test_cross_layer_empty_payload_roundtrip(self):
+        message = CrossLayerMessage(mtype=MessageType.SEND, bid=0, payload=b"")
+        decoded = decode_message(encode_message(message))
+        assert decoded.payload == b""
+        assert decoded == message
+
+    def test_cross_layer_empty_path_distinct_from_absent(self):
+        with_path = CrossLayerMessage(mtype=MessageType.ECHO, path=())
+        without_path = CrossLayerMessage(mtype=MessageType.ECHO, path=None)
+        assert decode_message(encode_message(with_path)).path == ()
+        assert decode_message(encode_message(without_path)).path is None
+
+    def test_large_payload_roundtrip(self):
+        message = CrossLayerMessage(
+            mtype=MessageType.SEND, source=0, bid=1, payload=bytes(range(256)) * 8
+        )
+        assert decode_message(encode_message(message)) == message
+
+
+class TestErrors:
+    def test_empty_buffer_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_message(b"")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_message(bytes([250, 0, 0]))
+
+    def test_truncated_message_rejected(self):
+        encoded = encode_message(
+            BrachaMessage(MessageType.SEND, source=3, bid=8, payload=b"hello")
+        )
+        with pytest.raises(EncodingError):
+            decode_message(encoded[:-3])
+
+    def test_trailing_garbage_rejected(self):
+        encoded = encode_message(CrossLayerMessage(mtype=MessageType.READY))
+        with pytest.raises(EncodingError):
+            decode_message(encoded + b"\x00")
+
+    def test_unencodable_object_rejected(self):
+        with pytest.raises(EncodingError):
+            encode_message("not a message")
+
+    def test_negative_ids_rejected(self):
+        message = CrossLayerMessage(mtype=MessageType.ECHO, source=-1)
+        with pytest.raises(EncodingError):
+            encode_message(message)

@@ -1,0 +1,141 @@
+"""Unit tests for the message wire formats and Table 3 size accounting."""
+
+import pytest
+
+from repro.core.messages import (
+    BrachaMessage,
+    CrossLayerMessage,
+    DolevMessage,
+    MessageType,
+)
+from repro.core.sizes import PAPER_FIELD_SIZES, FieldSizes
+
+
+class TestFieldSizes:
+    def test_paper_defaults_match_table_3(self):
+        sizes = PAPER_FIELD_SIZES
+        assert sizes.mtype == 1
+        assert sizes.source == 4
+        assert sizes.bid == 4
+        assert sizes.local_payload_id == 4
+        assert sizes.payload_size == 4
+        assert sizes.creator_id == 4
+        assert sizes.embedded_creator_id == 4
+        assert sizes.path_length == 2
+        assert sizes.path_entry == 4
+
+    def test_path_cost(self):
+        assert PAPER_FIELD_SIZES.path_cost(0) == 2
+        assert PAPER_FIELD_SIZES.path_cost(3) == 2 + 12
+
+    def test_custom_sizes(self):
+        sizes = FieldSizes(path_entry=2, path_length=1)
+        assert sizes.path_cost(4) == 1 + 8
+
+
+class TestBrachaMessage:
+    def test_wire_size_without_creator(self):
+        message = BrachaMessage(MessageType.SEND, source=1, bid=2, payload=b"abcd")
+        # mtype + source + bid + payloadSize + payload
+        assert message.wire_size() == 1 + 4 + 4 + 4 + 4
+
+    def test_wire_size_with_creator(self):
+        message = BrachaMessage(
+            MessageType.ECHO, source=1, bid=2, payload=b"abcd", creator=3
+        )
+        assert message.wire_size() == 1 + 4 + 4 + 4 + 4 + 4
+
+    def test_broadcast_id(self):
+        message = BrachaMessage(MessageType.READY, source=7, bid=9, payload=b"")
+        assert message.broadcast_id == (7, 9)
+
+    def test_with_creator_returns_new_message(self):
+        message = BrachaMessage(MessageType.ECHO, source=1, bid=0, payload=b"x")
+        tagged = message.with_creator(5)
+        assert tagged.creator == 5
+        assert message.creator is None
+
+    def test_messages_are_hashable_and_comparable(self):
+        a = BrachaMessage(MessageType.ECHO, 1, 0, b"x", creator=2)
+        b = BrachaMessage(MessageType.ECHO, 1, 0, b"x", creator=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestDolevMessage:
+    def test_wire_size_with_raw_content(self):
+        message = DolevMessage(content=b"12345678", path=(1, 2))
+        expected = (1 + 4 + 4 + 4 + 8) + (2 + 2 * 4)
+        assert message.wire_size() == expected
+
+    def test_wire_size_with_bracha_content(self):
+        inner = BrachaMessage(MessageType.ECHO, 1, 0, b"abc", creator=4)
+        message = DolevMessage(content=inner, path=(5,))
+        assert message.wire_size() == inner.wire_size() + 2 + 4
+
+    def test_extended_appends_relay(self):
+        message = DolevMessage(content=b"x", path=(1,))
+        assert message.extended(2).path == (1, 2)
+
+    def test_with_empty_path(self):
+        message = DolevMessage(content=b"x", path=(1, 2, 3))
+        assert message.with_empty_path().path == ()
+        empty = DolevMessage(content=b"x", path=())
+        assert empty.with_empty_path() is empty
+
+
+class TestCrossLayerMessage:
+    def test_minimal_message_costs_only_mtype(self):
+        message = CrossLayerMessage(mtype=MessageType.READY)
+        assert message.wire_size() == 1
+
+    def test_full_message_size(self):
+        message = CrossLayerMessage(
+            mtype=MessageType.READY_ECHO,
+            source=1,
+            bid=2,
+            creator=3,
+            embedded_creator=4,
+            payload=b"abcdefgh",
+            local_payload_id=9,
+            path=(5, 6),
+        )
+        expected = 1 + 4 + 4 + 4 + 4 + (4 + 8) + 4 + (2 + 8)
+        assert message.wire_size() == expected
+
+    def test_empty_path_still_costs_length_prefix(self):
+        with_path = CrossLayerMessage(mtype=MessageType.ECHO, path=())
+        without_path = CrossLayerMessage(mtype=MessageType.ECHO, path=None)
+        assert with_path.wire_size() == without_path.wire_size() + 2
+
+    def test_payload_omission_saves_payload_bytes(self):
+        payload = bytes(1024)
+        with_payload = CrossLayerMessage(
+            mtype=MessageType.ECHO, source=0, bid=0, payload=payload, path=()
+        )
+        without_payload = CrossLayerMessage(
+            mtype=MessageType.ECHO, source=0, bid=0, local_payload_id=1, path=()
+        )
+        assert with_payload.wire_size() - without_payload.wire_size() == 1024 + 4 - 4
+
+    def test_effective_path(self):
+        assert CrossLayerMessage(mtype=MessageType.ECHO).effective_path == ()
+        assert CrossLayerMessage(mtype=MessageType.ECHO, path=(1,)).effective_path == (1,)
+
+    def test_has_payload(self):
+        assert CrossLayerMessage(mtype=MessageType.SEND, payload=b"").has_payload
+        assert not CrossLayerMessage(mtype=MessageType.SEND).has_payload
+
+    def test_with_fields(self):
+        message = CrossLayerMessage(mtype=MessageType.ECHO, source=1)
+        updated = message.with_fields(source=None, creator=5)
+        assert updated.source is None
+        assert updated.creator == 5
+        assert message.source == 1
+
+    def test_merged_types_flagged(self):
+        assert MessageType.ECHO_ECHO.is_merged
+        assert MessageType.READY_ECHO.is_merged
+        assert not MessageType.ECHO.is_merged
+        assert not MessageType.SEND.is_merged

@@ -1,0 +1,131 @@
+"""Unit tests for the metrics collector and the report helpers."""
+
+import pytest
+
+from repro.core.messages import BrachaMessage, CrossLayerMessage, DolevMessage, MessageType
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import (
+    boxplot_stats,
+    mean,
+    median,
+    relative_variation_percent,
+    summarize_variations,
+    variation_range,
+)
+
+
+class TestCollector:
+    def test_record_send_accumulates_bytes_and_counts(self):
+        collector = MetricsCollector()
+        message = BrachaMessage(MessageType.SEND, 0, 0, b"abcd")
+        size = collector.record_send(10.0, 0, 1, message)
+        assert size == message.wire_size()
+        collector.record_send(20.0, 0, 2, message)
+        assert collector.message_count == 2
+        assert collector.total_bytes == 2 * message.wire_size()
+        assert collector.messages_by_process[0] == 2
+
+    def test_type_breakdown_for_bracha_and_dolev(self):
+        collector = MetricsCollector()
+        echo = BrachaMessage(MessageType.ECHO, 0, 0, b"x", creator=1)
+        collector.record_send(0, 0, 1, echo)
+        collector.record_send(0, 0, 1, DolevMessage(content=echo, path=(2,)))
+        collector.record_send(0, 0, 1, DolevMessage(content=b"raw", path=()))
+        collector.record_send(0, 0, 1, CrossLayerMessage(mtype=MessageType.READY_ECHO))
+        snapshot = collector.snapshot()
+        assert snapshot.messages_by_type["ECHO"] == 1
+        assert snapshot.messages_by_type["DOLEV[ECHO]"] == 1
+        assert snapshot.messages_by_type["DOLEV[RAW]"] == 1
+        assert snapshot.messages_by_type["READY_ECHO"] == 1
+
+    def test_first_delivery_wins(self):
+        collector = MetricsCollector()
+        collector.record_delivery(5.0, 1, 0, 0, b"a")
+        collector.record_delivery(9.0, 1, 0, 0, b"b")
+        snapshot = collector.snapshot()
+        assert snapshot.delivery_times[(1, (0, 0))] == 5.0
+        assert snapshot.delivered_payloads[(1, (0, 0))] == b"a"
+
+    def test_delivery_latency_requires_all_processes(self):
+        collector = MetricsCollector()
+        collector.record_delivery(5.0, 0, 0, 0, b"a")
+        collector.record_delivery(12.0, 1, 0, 0, b"a")
+        snapshot = collector.snapshot()
+        assert snapshot.delivery_latency((0, 0), [0, 1]) == 12.0
+        assert snapshot.delivery_latency((0, 0), [0, 1, 2]) is None
+
+    def test_deliveries_for_and_delivering_processes(self):
+        collector = MetricsCollector()
+        collector.record_delivery(1.0, 3, 0, 7, b"v")
+        collector.record_delivery(2.0, 1, 0, 7, b"v")
+        collector.record_delivery(2.0, 1, 0, 8, b"w")
+        snapshot = collector.snapshot()
+        assert snapshot.deliveries_for((0, 7)) == {3: b"v", 1: b"v"}
+        assert snapshot.delivering_processes((0, 7)) == (1, 3)
+
+    def test_state_sizes(self):
+        collector = MetricsCollector()
+        collector.record_state_size(0, 10)
+        collector.record_state_size(1, 25)
+        snapshot = collector.snapshot()
+        assert snapshot.peak_state_size == 25
+        assert snapshot.total_state_size == 35
+
+    def test_end_time_tracks_latest_event(self):
+        collector = MetricsCollector()
+        collector.record_send(10.0, 0, 1, BrachaMessage(MessageType.SEND, 0, 0, b""))
+        collector.record_time(99.0)
+        assert collector.snapshot().end_time == 99.0
+
+    def test_message_without_wire_size_counts_zero_bytes(self):
+        collector = MetricsCollector()
+        collector.record_send(0.0, 0, 1, object())
+        assert collector.total_bytes == 0
+        assert collector.message_count == 1
+
+
+class TestReport:
+    def test_relative_variation_percent(self):
+        assert relative_variation_percent(50.0, 100.0) == -50.0
+        assert relative_variation_percent(150.0, 100.0) == 50.0
+
+    def test_relative_variation_rejects_zero_reference(self):
+        with pytest.raises(ValueError):
+            relative_variation_percent(1.0, 0.0)
+
+    def test_boxplot_stats(self):
+        stats = boxplot_stats(list(range(101)))
+        assert stats.median == 50.0
+        assert stats.q1 == 25.0
+        assert stats.q3 == 75.0
+        assert stats.low == pytest.approx(2.5)
+        assert stats.high == pytest.approx(97.5)
+        assert stats.count == 101
+        assert stats.format().startswith("[")
+
+    def test_boxplot_stats_empty_rejected(self):
+        with pytest.raises(ValueError):
+            boxplot_stats([])
+
+    def test_variation_range(self):
+        assert variation_range([-5.0, 2.0, -7.0]) == (-7.0, 2.0)
+        with pytest.raises(ValueError):
+            variation_range([])
+
+    def test_summarize_variations(self):
+        measured = {"a": [50.0, 80.0], "b": [10.0]}
+        reference = {"a": [100.0, 100.0], "b": [10.0]}
+        summary = summarize_variations(measured, reference)
+        assert summary["a"] == (-50.0, -20.0)
+        assert summary["b"] == (0.0, 0.0)
+
+    def test_summarize_variations_skips_missing_references(self):
+        assert summarize_variations({"a": [1.0]}, {}) == {}
+
+    def test_mean_and_median(self):
+        assert mean([1, 2, 3]) == 2.0
+        assert median([1, 2, 3, 100]) == 2.5
+        with pytest.raises(ValueError):
+            mean([])
+        with pytest.raises(ValueError):
+            median([])

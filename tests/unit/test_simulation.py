@@ -1,0 +1,236 @@
+"""Unit tests for the discrete-event scheduler, delay models and network."""
+
+import random
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError, RuntimeAbort
+from repro.core.events import SendTo
+from repro.core.messages import BrachaMessage, MessageType
+from repro.brb.bracha import BrachaBroadcast
+from repro.network.simulation.delays import (
+    AsynchronousDelay,
+    BandwidthAwareDelay,
+    FixedDelay,
+    UniformDelay,
+)
+from repro.network.simulation.network import SimulatedNetwork
+from repro.network.simulation.scheduler import EventScheduler
+from repro.topology.generators import complete_topology, line_topology
+
+
+class TestScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(30, lambda: order.append("c"))
+        scheduler.schedule(10, lambda: order.append("a"))
+        scheduler.schedule(20, lambda: order.append("b"))
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_broken_by_insertion_order(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(5, lambda: order.append(1))
+        scheduler.schedule(5, lambda: order.append(2))
+        scheduler.run()
+        assert order == [1, 2]
+
+    def test_clock_advances_to_last_event(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(42.5, lambda: None)
+        assert scheduler.run() == pytest.approx(42.5)
+        assert scheduler.now == pytest.approx(42.5)
+
+    def test_nested_scheduling(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def outer():
+            seen.append(scheduler.now)
+            scheduler.schedule(5, lambda: seen.append(scheduler.now))
+
+        scheduler.schedule(10, outer)
+        scheduler.run()
+        assert seen == [10, 15]
+
+    def test_negative_delay_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(-1, lambda: None)
+
+    def test_schedule_at_in_the_past_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule(10, lambda: None)
+        scheduler.run()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(5, lambda: None)
+
+    def test_max_time_stops_early(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule(10, lambda: seen.append("early"))
+        scheduler.schedule(100, lambda: seen.append("late"))
+        scheduler.run(max_time=50)
+        assert seen == ["early"]
+        assert scheduler.pending == 1
+
+    def test_max_events_aborts(self):
+        scheduler = EventScheduler()
+
+        def rearm():
+            scheduler.schedule(1, rearm)
+
+        scheduler.schedule(1, rearm)
+        with pytest.raises(RuntimeAbort):
+            scheduler.run(max_events=100)
+
+
+class TestDelayModels:
+    def test_fixed_delay(self):
+        model = FixedDelay(50.0)
+        rng = random.Random(0)
+        assert model.sample(rng, 0, 1, 100) == 50.0
+        assert "50" in model.describe()
+
+    def test_asynchronous_delay_positive_and_varied(self):
+        model = AsynchronousDelay(50.0, 50.0)
+        rng = random.Random(1)
+        samples = [model.sample(rng, 0, 1, 100) for _ in range(200)]
+        assert all(s >= model.min_ms for s in samples)
+        assert max(samples) > min(samples)
+
+    def test_uniform_delay_bounds(self):
+        model = UniformDelay(10.0, 20.0)
+        rng = random.Random(2)
+        samples = [model.sample(rng, 0, 1, 100) for _ in range(100)]
+        assert all(10.0 <= s <= 20.0 for s in samples)
+
+    def test_bandwidth_aware_delay_adds_serialization(self):
+        model = BandwidthAwareDelay(base=FixedDelay(10.0), rate_bps=8_000)
+        rng = random.Random(3)
+        # 1000 bytes at 8 kb/s = 1 second = 1000 ms on top of the base 10 ms.
+        assert model.sample(rng, 0, 1, 1000) == pytest.approx(1010.0)
+
+
+class TestSimulatedNetwork:
+    def _bracha_network(self, n=4, f=1, **kwargs):
+        config = SystemConfig.for_system(n, f)
+        topo = complete_topology(n)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        return SimulatedNetwork(topo, protocols, **kwargs), config
+
+    def test_missing_protocol_rejected(self):
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {0: BrachaBroadcast(0, config, [1, 2, 3])}
+        with pytest.raises(ConfigurationError):
+            SimulatedNetwork(topo, protocols)
+
+    def test_unknown_process_rejected(self):
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        protocols[9] = protocols[0]
+        with pytest.raises(ConfigurationError):
+            SimulatedNetwork(topo, protocols)
+
+    def test_broadcast_delivers_to_everyone(self):
+        network, _ = self._bracha_network()
+        network.broadcast(0, b"value", 0)
+        metrics = network.run()
+        assert len(metrics.deliveries_for((0, 0))) == 4
+
+    def test_latency_is_three_link_delays_for_bracha(self):
+        network, _ = self._bracha_network(delay_model=FixedDelay(50.0))
+        network.broadcast(0, b"value", 0)
+        metrics = network.run()
+        latency = metrics.delivery_latency((0, 0), [0, 1, 2, 3])
+        assert latency == pytest.approx(150.0)
+
+    def test_send_to_non_neighbor_raises(self):
+        config = SystemConfig.for_system(3, 0)
+        topo = line_topology(3)
+
+        class Rogue:
+            process_id = 0
+            neighbors = (1,)
+
+            def on_start(self):
+                return []
+
+            def broadcast(self, payload, bid=0):
+                message = BrachaMessage(MessageType.SEND, 0, bid, payload)
+                return [SendTo(dest=2, message=message)]
+
+            def on_message(self, sender, message):
+                return []
+
+        protocols = {
+            0: Rogue(),
+            1: BrachaBroadcast(1, SystemConfig.for_system(3, 0), [0, 2]),
+            2: BrachaBroadcast(2, SystemConfig.for_system(3, 0), [0, 1]),
+        }
+        network = SimulatedNetwork(topo, protocols)
+        with pytest.raises(RuntimeAbort):
+            network.broadcast(0, b"x", 0)
+
+    def test_crashed_process_stops_participating(self):
+        network, _ = self._bracha_network(n=4, f=1)
+        network.crash(3)
+        network.broadcast(0, b"value", 0)
+        metrics = network.run()
+        delivered = metrics.deliveries_for((0, 0))
+        assert 3 not in delivered
+        assert set(delivered) == {0, 1, 2}
+
+    def test_deterministic_for_seed(self):
+        results = []
+        for _ in range(2):
+            network, _ = self._bracha_network(
+                delay_model=AsynchronousDelay(20.0, 10.0), seed=7
+            )
+            network.broadcast(0, b"value", 0)
+            metrics = network.run()
+            results.append((metrics.total_bytes, metrics.end_time))
+        assert results[0] == results[1]
+
+    def test_on_deliver_callback(self):
+        observed = []
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        network = SimulatedNetwork(
+            topo, protocols, on_deliver=lambda pid, event, t: observed.append((pid, event.payload))
+        )
+        network.broadcast(1, b"cb", 0)
+        network.run()
+        assert len(observed) == 4
+        assert all(payload == b"cb" for _, payload in observed)
+
+    def test_shared_bandwidth_increases_latency(self):
+        fast, _ = self._bracha_network(delay_model=FixedDelay(10.0))
+        fast.broadcast(0, b"x" * 512, 0)
+        fast_latency = fast.run().delivery_latency((0, 0), [0, 1, 2, 3])
+
+        slow, _ = self._bracha_network(
+            delay_model=FixedDelay(10.0), shared_bandwidth_bps=100_000
+        )
+        slow.broadcast(0, b"x" * 512, 0)
+        slow_latency = slow.run().delivery_latency((0, 0), [0, 1, 2, 3])
+        assert slow_latency > fast_latency
+
+    def test_invalid_shared_bandwidth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._bracha_network(shared_bandwidth_bps=0)

@@ -1,0 +1,156 @@
+"""Unit tests for topology generation and analysis."""
+
+import pytest
+
+from repro.core.config import SystemConfig
+from repro.core.errors import TopologyError
+from repro.topology.analysis import (
+    all_pairs_min_disjoint_paths,
+    disjoint_path_count,
+    meets_connectivity_requirement,
+    require_connectivity,
+    vertex_connectivity,
+)
+from repro.topology.generators import (
+    Topology,
+    complete_topology,
+    harary_topology,
+    line_topology,
+    random_regular_topology,
+    ring_topology,
+    torus_topology,
+)
+
+
+class TestTopologyType:
+    def test_from_edges(self):
+        topo = Topology.from_edges([0, 1, 2], [(0, 1), (1, 2)])
+        assert topo.n == 3
+        assert topo.edge_count == 2
+        assert topo.neighbors(1) == frozenset({0, 2})
+        assert topo.has_edge(0, 1)
+        assert not topo.has_edge(0, 2)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology.from_edges([0, 1], [(0, 0)])
+
+    def test_unknown_endpoint_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology.from_edges([0, 1], [(0, 2)])
+
+    def test_unknown_node_lookup_rejected(self):
+        topo = ring_topology(4)
+        with pytest.raises(TopologyError):
+            topo.neighbors(99)
+
+    def test_degrees(self):
+        topo = ring_topology(5)
+        assert topo.degree(0) == 2
+        assert topo.min_degree() == 2
+
+    def test_to_networkx_round_trip(self):
+        topo = torus_topology(3, 3)
+        again = Topology.from_networkx(topo.to_networkx())
+        assert again.adjacency == topo.adjacency
+
+    def test_iteration_yields_sorted_nodes(self):
+        topo = Topology.from_edges([5, 3, 1], [(1, 3), (3, 5)])
+        assert list(topo) == [1, 3, 5]
+
+
+class TestGenerators:
+    def test_complete_topology(self):
+        topo = complete_topology(6)
+        assert topo.is_fully_connected()
+        assert topo.vertex_connectivity() == 5
+
+    def test_ring_is_two_connected(self):
+        assert ring_topology(8).vertex_connectivity() == 2
+
+    def test_line_is_one_connected(self):
+        assert line_topology(5).vertex_connectivity() == 1
+
+    def test_torus_is_four_connected(self):
+        assert torus_topology(3, 4).vertex_connectivity() == 4
+
+    def test_harary_even_degree(self):
+        topo = harary_topology(10, 4)
+        assert topo.min_degree() == 4
+        assert topo.vertex_connectivity() == 4
+
+    def test_harary_odd_degree(self):
+        topo = harary_topology(10, 5)
+        assert topo.vertex_connectivity() == 5
+
+    def test_harary_odd_degree_odd_nodes(self):
+        topo = harary_topology(9, 5)
+        assert topo.vertex_connectivity() == 5
+
+    def test_harary_rejects_k_ge_n(self):
+        with pytest.raises(TopologyError):
+            harary_topology(4, 4)
+
+    def test_random_regular_degree_and_connectivity(self):
+        topo = random_regular_topology(16, 5, seed=3)
+        assert all(topo.degree(p) == 5 for p in topo.nodes)
+        assert topo.vertex_connectivity() >= 5
+
+    def test_random_regular_with_lower_connectivity_target(self):
+        topo = random_regular_topology(12, 6, seed=1, min_connectivity=5)
+        assert topo.vertex_connectivity() >= 5
+
+    def test_random_regular_deterministic_for_seed(self):
+        a = random_regular_topology(14, 4, seed=9)
+        b = random_regular_topology(14, 4, seed=9)
+        assert a.adjacency == b.adjacency
+
+    def test_random_regular_odd_product_rejected(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(9, 3, seed=1)
+
+    def test_random_regular_degree_ge_n_rejected(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, 5, seed=1)
+
+    def test_random_regular_impossible_connectivity_rejected(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(10, 3, seed=1, min_connectivity=4)
+
+
+class TestAnalysis:
+    def test_vertex_connectivity_wrapper(self):
+        assert vertex_connectivity(ring_topology(6)) == 2
+
+    def test_meets_connectivity_requirement(self):
+        config = SystemConfig.for_system(10, 2)  # needs 5-connectivity
+        assert meets_connectivity_requirement(harary_topology(10, 5), config)
+        assert not meets_connectivity_requirement(harary_topology(10, 4), config)
+
+    def test_meets_requirement_with_f_zero_needs_connected_graph(self):
+        config = SystemConfig.for_system(5, 0)
+        assert meets_connectivity_requirement(line_topology(5), config)
+
+    def test_require_connectivity_raises(self):
+        config = SystemConfig.for_system(10, 2)
+        with pytest.raises(TopologyError):
+            require_connectivity(ring_topology(10), config)
+
+    def test_disjoint_path_count_adjacent_nodes(self):
+        topo = complete_topology(5)
+        assert disjoint_path_count(topo, 0, 1) == 4
+
+    def test_disjoint_path_count_ring(self):
+        assert disjoint_path_count(ring_topology(6), 0, 3) == 2
+
+    def test_disjoint_path_count_same_node_rejected(self):
+        with pytest.raises(TopologyError):
+            disjoint_path_count(ring_topology(5), 2, 2)
+
+    def test_all_pairs_minimum_matches_connectivity(self):
+        # Menger: the minimum over pairs of vertex-disjoint path counts
+        # equals the graph's vertex connectivity.
+        topo = harary_topology(8, 3)
+        minimum, witnesses = all_pairs_min_disjoint_paths(topo)
+        assert minimum == topo.vertex_connectivity()
+        assert witnesses
