@@ -3,15 +3,26 @@
 The paper plots, for N = 30 and N = 50 with a 1024 B payload, the relative
 variation (in %) of network consumption and latency of the *lat.* and
 *bdw.* configurations over BDopt + MBD.1, as a function of connectivity.
-"""
 
-import pytest
+Ported to the scenario engine: every (configuration, k, seed) point is
+one scenario cell, and candidate and reference cells for the whole figure
+are fanned out together through the parallel sweep executor.
+"""
 
 from repro.core.modifications import ModificationSet
 from repro.metrics.report import relative_variation_percent
-from repro.runner.experiment import ExperimentConfig, run_repeated
+from repro.runner.parallel import SweepExecutor
+from repro.scenarios import DelaySpec, ScenarioSpec, TopologySpec, seed_cells
 
-from benchmarks.common import current_scale, emit, emit_header, k_grid_for, save_record
+from benchmarks.common import (
+    current_scale,
+    emit,
+    emit_header,
+    k_grid_for,
+    mean_or_none,
+    save_record,
+    sweep_workers,
+)
 
 SCALE = current_scale()
 
@@ -21,62 +32,85 @@ CONFIGURATIONS = {
 }
 
 
-def _mean(values):
-    values = [v for v in values if v is not None]
-    return sum(values) / len(values) if values else None
+def _cells(n, k, f, mods, seed=31):
+    base = ScenarioSpec(
+        name=f"fig6-n{n}-k{k}",
+        topology=TopologySpec(kind="random_regular", n=n, k=k, min_connectivity=min(k, 2 * f + 1)),
+        delay=DelaySpec(kind="fixed", mean_ms=50.0),
+        modifications=mods,
+        f=f,
+        payload_size=1024,
+        seed=seed,
+        shared_bandwidth_bps=1e9,
+    )
+    return seed_cells(base, SCALE.runs)
 
 
-def _point(n, k, f, mods, seed=31):
-    config = ExperimentConfig(n=n, k=k, f=f, payload_size=1024, modifications=mods, seed=seed)
-    results = run_repeated(config, runs=SCALE.runs)
+def _means(results):
     return (
-        _mean([r.latency_ms for r in results]),
-        _mean([r.total_kilobytes for r in results]),
+        mean_or_none([r.latency_ms for r in results]),
+        mean_or_none([r.total_bytes / 1000.0 for r in results]),
     )
 
 
 def test_fig6_scaling_with_number_of_processes(benchmark):
-    def study():
-        series = {}
-        for n in SCALE.fig6_ns:
-            f = max(1, n // 7)  # mid-range f, as in the paper's choice
-            ks = k_grid_for(n, f, tuple(sorted({max(2 * f + 1, n // 3), n // 2, n - n // 4})))
+    # Lay out every cell of the figure — reference and candidates on the
+    # same topologies and seeds — and run them in one parallel sweep.
+    points = []  # (series name, n, k, slice of reference cells, slice of candidate cells)
+    cells = []
+    for n in SCALE.fig6_ns:
+        f = max(1, n // 7)  # mid-range f, as in the paper's choice
+        ks = k_grid_for(n, f, tuple(sorted({max(2 * f + 1, n // 3), n // 2, n - n // 4})))
+        for k in ks:
+            # One shared reference slice per (n, k): both candidate
+            # configurations compare against the same runs.
+            reference = _cells(n, k, f, ModificationSet.bdopt_with_mbd1())
+            ref_slice = slice(len(cells), len(cells) + len(reference))
+            cells.extend(reference)
             for name, mods in CONFIGURATIONS.items():
-                points = []
-                for k in ks:
-                    ref_lat, ref_kb = _point(n, k, f, ModificationSet.bdopt_with_mbd1())
-                    cand_lat, cand_kb = _point(n, k, f, mods)
-                    points.append(
-                        {
-                            "k": k,
-                            "bytes_variation_percent": relative_variation_percent(cand_kb, ref_kb),
-                            "latency_variation_percent": (
-                                relative_variation_percent(cand_lat, ref_lat)
-                                if ref_lat and cand_lat
-                                else None
-                            ),
-                        }
-                    )
-                series[f"{name}, N={n}"] = points
-        return series
+                candidate = _cells(n, k, f, mods)
+                cand_slice = slice(len(cells), len(cells) + len(candidate))
+                cells.extend(candidate)
+                points.append((f"{name}, N={n}", n, k, ref_slice, cand_slice))
 
-    series = benchmark.pedantic(study, rounds=1, iterations=1)
+    executor = SweepExecutor(workers=sweep_workers())
+
+    def study():
+        return executor.run(cells)
+
+    results = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    series = {}
+    for series_name, n, k, ref_slice, cand_slice in points:
+        ref_lat, ref_kb = _means(results[ref_slice])
+        cand_lat, cand_kb = _means(results[cand_slice])
+        series.setdefault(series_name, []).append(
+            {
+                "k": k,
+                "bytes_variation_percent": relative_variation_percent(cand_kb, ref_kb),
+                "latency_variation_percent": (
+                    relative_variation_percent(cand_lat, ref_lat)
+                    if ref_lat and cand_lat
+                    else None
+                ),
+            }
+        )
 
     emit_header(f"Fig. 6a — network consumption variation (%) vs k (scale={SCALE.name})")
-    for name, points in series.items():
+    for name, rows in series.items():
         emit(
             f"{name:>14} | "
-            + " | ".join(f"k={p['k']}: {p['bytes_variation_percent']:+6.1f}%" for p in points)
+            + " | ".join(f"k={p['k']}: {p['bytes_variation_percent']:+6.1f}%" for p in rows)
         )
     emit_header("Fig. 6b — latency variation (%) vs k")
-    for name, points in series.items():
+    for name, rows in series.items():
         emit(
             f"{name:>14} | "
             + " | ".join(
                 f"k={p['k']}: {p['latency_variation_percent']:+6.1f}%"
                 if p["latency_variation_percent"] is not None
                 else f"k={p['k']}: n/a"
-                for p in points
+                for p in rows
             )
         )
     save_record("fig6_scaling", {"scale": SCALE.name, "series": series})

@@ -89,6 +89,25 @@ def current_scale() -> Scale:
     return DEFAULT_SCALE
 
 
+def sweep_workers(default: int = 2) -> int:
+    """Worker count for the parallel sweep executor.
+
+    Controlled by the ``REPRO_WORKERS`` environment variable; the default
+    keeps the benchmarks exercising the multiprocessing path (``workers >
+    1``) even on small machines.
+    """
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", default)))
+    except ValueError:
+        return default
+
+
+def mean_or_none(values) -> float:
+    """Mean of the non-``None`` values, or ``None`` when there are none."""
+    values = [v for v in values if v is not None]
+    return sum(values) / len(values) if values else None
+
+
 def emit(line: str) -> None:
     """Print a reproduced table/figure row (always visible under pytest -s)."""
     print(f"{ROW_PREFIX} {line}", file=sys.stderr)

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Demonstration of the attacks the protocol defends against.
+"""Demonstration of the attacks and faults the protocol defends against.
 
-Runs three scenarios on the same partially connected topology and prints
-what an attacker can and cannot achieve:
+Runs five declarative scenarios on the same partially connected topology
+and prints what an attacker (or an unlucky deployment) can and cannot
+achieve:
 
-1. *Mute relays* — up to ``f`` processes silently drop everything; the
+1. *Mute relays* — ``f`` processes silently drop everything; the
    broadcast still reaches every correct process because the graph is
    ``2f + 1``-connected.
 2. *Path-forging relays* — Byzantine relays rewrite transmission paths to
@@ -13,76 +14,104 @@ what an attacker can and cannot achieve:
 3. *Equivocating source* — the source sends different payloads to
    different neighbors; BRB-Agreement guarantees the correct processes
    never deliver conflicting values.
+4. *Crash mid-broadcast* — a relay crashes 60 ms into the run, after
+   forwarding only part of its traffic.
+5. *Link outage + late boot* — one link drops every message for the
+   first 100 ms and one node only boots at 150 ms; redundancy and the
+   wake-up replay still get everyone to deliver.
+
+Each scenario is a :class:`~repro.scenarios.ScenarioSpec`: the adversary
+count, behaviour and placement strategy are data, so the same specs can
+be swept over grids or shipped to the parallel executor unchanged.
 
 Run with:  python examples/byzantine_attack_demo.py
 """
 
-from repro import (
-    CrossLayerBrachaDolev,
-    FixedDelay,
-    ModificationSet,
-    SimulatedNetwork,
-    SystemConfig,
-    random_regular_topology,
+from repro.core.modifications import ModificationSet
+from repro.scenarios import (
+    AdversarySpec,
+    CrashAt,
+    DelayedStart,
+    DelaySpec,
+    LinkDropWindow,
+    ScenarioSpec,
+    TopologySpec,
+    run_scenario,
 )
-from repro.network.adversary import EquivocatingSource, MuteProcess, PathForgingRelay
+
+N, F, K = 10, 2, 5
+
+BASE = ScenarioSpec(
+    topology=TopologySpec(kind="random_regular", n=N, k=K, min_connectivity=2 * F + 1),
+    delay=DelaySpec(kind="fixed", mean_ms=25.0),
+    modifications=ModificationSet.all_enabled(),
+    f=F,
+    payload_size=17,  # b"authentic"-sized payload, deterministic content
+    seed=21,
+)
 
 
-def build_network(topology, config, byzantine, mods, seed=5):
-    protocols = {}
-    for pid in topology.nodes:
-        neighbors = sorted(topology.neighbors(pid))
-        if pid in byzantine:
-            protocols[pid] = byzantine[pid](pid, neighbors)
-        else:
-            protocols[pid] = CrossLayerBrachaDolev(pid, config, neighbors, modifications=mods)
-    return SimulatedNetwork(topology, protocols, delay_model=FixedDelay(25.0), seed=seed)
+def report(title: str, result) -> None:
+    correct = len(result.correct_processes)
+    delivered = sum(1 for pid in result.delivered_processes if pid in result.correct_processes)
+    print(title)
+    print(f"   Byzantine: {dict(result.byzantine) or '{}'}  crashed: {list(result.crashed) or '[]'}")
+    print(f"   correct processes that delivered: {delivered}/{correct}")
+    print(f"   agreement: {result.agreement_holds}   validity: {result.validity_holds}\n")
 
 
 def main() -> None:
-    n, f, k = 10, 2, 5
-    config = SystemConfig.for_system(n, f)
-    topology = random_regular_topology(n, k, seed=21, min_connectivity=config.min_connectivity)
-    mods = ModificationSet.all_enabled()
-    payload = b"authentic payload"
+    from dataclasses import replace
 
-    print(f"System: N={n}, f={f}, connectivity={topology.vertex_connectivity()}\n")
+    print(f"System: N={N}, f={F}, k={K} (connectivity ≥ {2 * F + 1})\n")
 
-    # Scenario 1: mute relays.
-    byzantine = {4: lambda pid, nb: MuteProcess(pid, nb), 7: lambda pid, nb: MuteProcess(pid, nb)}
-    network = build_network(topology, config, byzantine, mods)
-    network.broadcast(0, payload, 0)
-    metrics = network.run()
-    delivered = metrics.deliveries_for((0, 0))
-    print("1. Mute relays (processes 4 and 7 drop everything)")
-    print(f"   correct processes that delivered: {len(delivered)}/{n - 2}\n")
-
-    # Scenario 2: path-forging relays.
-    def forger(pid, neighbors):
-        inner = CrossLayerBrachaDolev(pid, config, neighbors, modifications=mods)
-        return PathForgingRelay(inner, config, seed=pid)
-
-    byzantine = {4: forger, 7: forger}
-    network = build_network(topology, config, byzantine, mods)
-    network.broadcast(0, payload, 0)
-    metrics = network.run()
-    delivered = metrics.deliveries_for((0, 0))
-    genuine = {pid for pid, value in delivered.items() if value == payload and pid not in (4, 7)}
-    print("2. Path-forging relays (processes 4 and 7 rewrite paths)")
-    print(f"   correct processes that delivered the genuine payload: {len(genuine)}/{n - 2}")
-    print(f"   correct processes that delivered a forged payload:    "
-          f"{sum(1 for pid, v in delivered.items() if v != payload and pid not in (4, 7))}\n")
-
-    # Scenario 3: equivocating source.
-    byzantine = {0: lambda pid, nb: EquivocatingSource(pid, nb, family="cross_layer")}
-    network = build_network(topology, config, byzantine, mods)
-    network.broadcast(0, payload, 0)
-    metrics = network.run()
-    delivered = metrics.deliveries_for((0, 0))
-    values = {value for pid, value in delivered.items() if pid != 0}
-    print("3. Equivocating source (process 0 sends two different payloads)")
-    print(f"   distinct values delivered by correct processes: {len(values)}")
-    print("   (BRB-Agreement allows at most one)")
+    report(
+        "1. Mute relays (max-degree placement — the strongest spots)",
+        run_scenario(
+            replace(
+                BASE,
+                name="mute-relays",
+                adversaries=(AdversarySpec(behaviour="mute", count=2, placement="max_degree"),),
+            )
+        ),
+    )
+    report(
+        "2. Path-forging relays (random placement)",
+        run_scenario(
+            replace(
+                BASE,
+                name="path-forgers",
+                adversaries=(AdversarySpec(behaviour="forge", count=2, placement="random"),),
+            )
+        ),
+    )
+    report(
+        "3. Equivocating source (conflicting payloads to each half)",
+        run_scenario(
+            replace(
+                BASE,
+                name="equivocation",
+                adversaries=(AdversarySpec(behaviour="equivocate", count=1),),
+            )
+        ),
+    )
+    report(
+        "4. Crash mid-broadcast (process 4 dies at t=60 ms)",
+        run_scenario(replace(BASE, name="mid-run-crash", faults=(CrashAt(pid=4, time_ms=60.0),))),
+    )
+    report(
+        "5. Link outage for 100 ms + process 6 boots at t=150 ms",
+        run_scenario(
+            replace(
+                BASE,
+                name="outage-and-late-boot",
+                faults=(
+                    LinkDropWindow(u=0, v=5, start_ms=0.0, end_ms=100.0),
+                    DelayedStart(pid=6, time_ms=150.0),
+                ),
+            )
+        ),
+    )
 
 
 if __name__ == "__main__":

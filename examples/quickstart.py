@@ -4,54 +4,38 @@
 Builds a 10-process system that tolerates f = 2 Byzantine processes,
 connects it with a random 5-regular graph (so the ``2f + 1 = 5``
 connectivity requirement holds), and broadcasts one payload with the
-paper's cross-layer Bracha-Dolev protocol.  Prints who delivered what,
-how long it took (in simulated milliseconds) and how many bytes were put
-on the wire.
+paper's cross-layer Bracha-Dolev protocol — all declared as a single
+:class:`~repro.scenarios.ScenarioSpec` and executed by the scenario
+engine.  Prints who delivered what, how long it took (in simulated
+milliseconds) and how many bytes were put on the wire.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro import (
-    CrossLayerBrachaDolev,
-    FixedDelay,
-    ModificationSet,
-    SimulatedNetwork,
-    SystemConfig,
-    random_regular_topology,
-)
+from repro.core.modifications import ModificationSet
+from repro.scenarios import DelaySpec, ScenarioSpec, TopologySpec, run_scenario
 
 
 def main() -> None:
-    n, f, k = 10, 2, 5
-    config = SystemConfig.for_system(n, f)
-    topology = random_regular_topology(n, k, seed=1, min_connectivity=config.min_connectivity)
-    print(f"Topology: {topology.name}, vertex connectivity {topology.vertex_connectivity()}")
-
-    # One protocol instance per process.  The default modification set is the
-    # paper's "lat. & bdw." configuration; here we enable everything.
-    protocols = {
-        pid: CrossLayerBrachaDolev(
-            pid,
-            config,
-            sorted(topology.neighbors(pid)),
-            modifications=ModificationSet.all_enabled(),
-        )
-        for pid in topology.nodes
-    }
-
-    network = SimulatedNetwork(
-        topology, protocols, delay_model=FixedDelay(50.0), seed=1
+    scenario = ScenarioSpec(
+        name="quickstart",
+        topology=TopologySpec(kind="random_regular", n=10, k=5, min_connectivity=5),
+        delay=DelaySpec(kind="fixed", mean_ms=50.0),
+        protocol="cross_layer",
+        modifications=ModificationSet.all_enabled(),
+        f=2,
+        payload_size=32,
+        seed=1,
     )
-    network.broadcast(0, b"hello, partially connected world", bid=0)
-    metrics = network.run()
+    result = run_scenario(scenario)
 
-    delivered = metrics.deliveries_for((0, 0))
-    latency = metrics.delivery_latency((0, 0), topology.nodes)
-    print(f"Delivered by {len(delivered)}/{n} processes")
-    print(f"Payload: {next(iter(delivered.values())).decode()}")
-    print(f"Latency until all processes delivered: {latency:.0f} ms (simulated)")
-    print(f"Messages on the wire: {metrics.message_count}")
-    print(f"Network consumption: {metrics.total_bytes / 1000:.1f} kB")
+    print(f"Topology: {result.topology_name}")
+    print(f"Delivered by {len(result.delivered_processes)}/{scenario.topology.n} processes")
+    print(f"Latency until all processes delivered: {result.latency_ms:.0f} ms (simulated)")
+    print(f"Messages on the wire: {result.message_count}")
+    print(f"Network consumption: {result.total_bytes / 1000:.1f} kB")
+    print(f"BRB agreement: {result.agreement_holds}, validity: {result.validity_holds}")
+    print(f"Scenario hash (sweep cache key): {result.scenario_hash[:16]}…")
 
 
 if __name__ == "__main__":

@@ -44,6 +44,20 @@ from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.network.simulation.delays import AsynchronousDelay, FixedDelay, UniformDelay
 from repro.network.simulation.network import SimulatedNetwork
 from repro.runner.experiment import ExperimentConfig, ExperimentResult, run_experiment
+from repro.runner.parallel import SweepExecutor, run_sweep
+from repro.scenarios import (
+    AdversarySpec,
+    CrashAt,
+    DelayedStart,
+    DelaySpec,
+    LinkDropWindow,
+    ScenarioResult,
+    ScenarioSpec,
+    TopologySpec,
+    expand_grid,
+    run_scenario,
+    seed_cells,
+)
 from repro.topology.generators import (
     Topology,
     complete_topology,
@@ -97,4 +111,18 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    # scenarios and sweeps
+    "ScenarioSpec",
+    "TopologySpec",
+    "DelaySpec",
+    "AdversarySpec",
+    "CrashAt",
+    "LinkDropWindow",
+    "DelayedStart",
+    "ScenarioResult",
+    "run_scenario",
+    "expand_grid",
+    "seed_cells",
+    "SweepExecutor",
+    "run_sweep",
 ]

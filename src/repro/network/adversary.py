@@ -243,6 +243,43 @@ class EquivocatingSource(ByzantineBehavior):
         return commands
 
 
+#: Behaviour names accepted by :func:`build_behaviour` (and therefore by
+#: the experiment runner and the scenario engine).
+BEHAVIOUR_NAMES: Tuple[str, ...] = ("mute", "drop", "forge", "equivocate")
+
+
+def build_behaviour(
+    behaviour: str,
+    process_id: int,
+    neighbors: Sequence[int],
+    *,
+    system: SystemConfig,
+    inner_factory,
+    family: str = "cross_layer",
+    seed: int = 0,
+    drop_probability: float = 0.5,
+):
+    """Build one named Byzantine behaviour for process ``process_id``.
+
+    ``inner_factory`` is a zero-argument callable returning a *correct*
+    protocol instance for the process; it is only invoked for behaviours
+    that wrap a correct protocol (``"drop"`` and ``"forge"``).  This is
+    the single construction path shared by the experiment runner and the
+    scenario engine, so a behaviour name means the same thing everywhere.
+    """
+    if behaviour == "mute":
+        return MuteProcess(process_id, neighbors)
+    if behaviour == "drop":
+        return MessageDroppingRelay(
+            inner_factory(), drop_probability=drop_probability, seed=seed
+        )
+    if behaviour == "forge":
+        return PathForgingRelay(inner_factory(), system, seed=seed)
+    if behaviour == "equivocate":
+        return EquivocatingSource(process_id, neighbors, family=family)
+    raise ValueError(f"unknown Byzantine behaviour: {behaviour}")
+
+
 __all__ = [
     "ByzantineBehavior",
     "MuteProcess",
@@ -250,4 +287,6 @@ __all__ = [
     "MessageDroppingRelay",
     "PathForgingRelay",
     "EquivocatingSource",
+    "BEHAVIOUR_NAMES",
+    "build_behaviour",
 ]

@@ -93,6 +93,15 @@ class SimulatedNetwork:
         self._medium_free_at = 0.0
         self._crashed: set = set()
         self._started = False
+        #: Messages lost to link-drop windows.
+        self.dropped_messages = 0
+        # Undirected link -> list of (start_ms, end_ms) drop windows;
+        # ``end_ms`` is None for a window that never reopens.
+        self._link_drops: Dict[Tuple[int, int], List[Tuple[float, Optional[float]]]] = {}
+        # Delayed-start processes: pid -> wake-up time, plus the messages
+        # buffered for them while they are dormant.
+        self._start_times: Dict[int, float] = {}
+        self._dormant_buffers: Dict[int, List[Tuple[int, object]]] = {}
 
     # ------------------------------------------------------------------
     # Control
@@ -104,11 +113,68 @@ class SimulatedNetwork:
 
     def crash(self, pid: int) -> None:
         """Crash a process: it stops sending and ignores future messages."""
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot crash unknown process {pid}")
         self._crashed.add(pid)
+        self._dormant_buffers.pop(pid, None)
+
+    def crash_at(self, pid: int, time_ms: float) -> None:
+        """Schedule a crash of ``pid`` at absolute simulated time ``time_ms``.
+
+        A crash at time 0 takes effect before the process runs its
+        ``on_start`` hook or initiates any broadcast, so the process never
+        participates at all (it behaves like a :class:`MuteProcess` that
+        also ignores incoming messages).
+        """
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot crash unknown process {pid}")
+        if time_ms <= self.scheduler.now:
+            self.crash(pid)
+        else:
+            self.scheduler.schedule_at(time_ms, lambda: self.crash(pid))
+
+    def add_link_drop_window(
+        self, u: int, v: int, start_ms: float, end_ms: Optional[float] = None
+    ) -> None:
+        """Drop every message put on the ``{u, v}`` link during a time window.
+
+        Messages whose send time falls in ``[start_ms, end_ms)`` are lost
+        (in both directions); their bytes are still charged to the sender,
+        mirroring a transmission that leaves the NIC but never arrives.
+        ``end_ms=None`` models a link that goes down and never reopens.
+        """
+        if not self.topology.has_edge(u, v):
+            raise ConfigurationError(f"no link between {u} and {v} to drop")
+        if end_ms is not None and end_ms < start_ms:
+            raise ConfigurationError(
+                f"link-drop window ends before it starts ({start_ms}, {end_ms})"
+            )
+        key = (min(u, v), max(u, v))
+        self._link_drops.setdefault(key, []).append((start_ms, end_ms))
+
+    def delay_start(self, pid: int, time_ms: float) -> None:
+        """Delay ``pid``'s participation until absolute time ``time_ms``.
+
+        Until then the process neither runs ``on_start`` nor handles
+        messages; incoming messages are buffered and replayed in arrival
+        order when the process wakes up, modelling a node that boots late
+        but misses nothing the network queued for it.
+        """
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot delay unknown process {pid}")
+        if self._started:
+            raise ConfigurationError("delay_start must be called before the run starts")
+        if time_ms < 0:
+            raise ConfigurationError(f"start time must be non-negative, got {time_ms}")
+        self._start_times[pid] = time_ms
 
     def is_crashed(self, pid: int) -> bool:
         """Whether ``pid`` has been crashed."""
         return pid in self._crashed
+
+    def is_dormant(self, pid: int) -> bool:
+        """Whether ``pid`` is a delayed-start process that has not woken yet."""
+        return pid in self._start_times and self.scheduler.now < self._start_times[pid]
 
     def start(self) -> None:
         """Run every protocol's ``on_start`` hook once."""
@@ -116,15 +182,45 @@ class SimulatedNetwork:
             return
         self._started = True
         for pid, protocol in self.protocols.items():
-            if hasattr(protocol, "on_start"):
+            if self.is_dormant(pid):
+                self._dormant_buffers.setdefault(pid, [])
+                self.scheduler.schedule_at(
+                    self._start_times[pid], lambda pid=pid: self._wake(pid)
+                )
+            elif hasattr(protocol, "on_start"):
                 self._execute_commands(pid, protocol.on_start())
 
+    def _wake(self, pid: int) -> None:
+        """Run a delayed-start process's hooks and replay its buffer."""
+        if pid in self._crashed:
+            return
+        protocol = self.protocols[pid]
+        if hasattr(protocol, "on_start"):
+            self._execute_commands(pid, protocol.on_start())
+        for sender, message in self._dormant_buffers.pop(pid, []):
+            if pid in self._crashed:
+                break
+            self._execute_commands(pid, protocol.on_message(sender, message))
+
     def broadcast(self, pid: int, payload: bytes, bid: int = 0) -> None:
-        """Have process ``pid`` initiate a broadcast at the current time."""
+        """Have process ``pid`` initiate a broadcast at the current time.
+
+        A delayed-start process broadcasts right after it wakes up instead.
+        """
         self.start()
         if pid in self._crashed:
             return
         protocol = self.protocols[pid]
+        if self.is_dormant(pid):
+            # The wake-up event is already queued at the same timestamp with
+            # a smaller sequence number, so on_start runs first.
+            self.scheduler.schedule_at(
+                self._start_times[pid],
+                lambda: None
+                if pid in self._crashed
+                else self._execute_commands(pid, protocol.broadcast(payload, bid)),
+            )
+            return
         self._execute_commands(pid, protocol.broadcast(payload, bid))
 
     def run(
@@ -161,6 +257,14 @@ class SimulatedNetwork:
             else:  # pragma: no cover - defensive
                 raise RuntimeAbort(f"unknown command {command!r} from process {pid}")
 
+    def _link_dropped(self, u: int, v: int, time: float) -> bool:
+        windows = self._link_drops.get((min(u, v), max(u, v)))
+        if not windows:
+            return False
+        return any(
+            start <= time and (end is None or time < end) for start, end in windows
+        )
+
     def _execute_send(self, sender: int, command: SendTo) -> None:
         dest = command.dest
         if not self.topology.has_edge(sender, dest):
@@ -170,22 +274,33 @@ class SimulatedNetwork:
         size = self.collector.record_send(self.scheduler.now, sender, dest, command.message)
         delay = self.delay_model.sample(self.rng, sender, dest, size)
         message = command.message
+        dropped = self._link_dropped(sender, dest, self.scheduler.now)
 
         def deliver() -> None:
             if dest in self._crashed:
+                return
+            if self.is_dormant(dest):
+                self._dormant_buffers.setdefault(dest, []).append((sender, message))
                 return
             protocol = self.protocols[dest]
             self._execute_commands(dest, protocol.on_message(sender, message))
 
         if self.shared_bandwidth_bps is not None:
             # Serialize the message through the shared medium before the
-            # propagation delay starts.
+            # propagation delay starts.  A message lost to a link-drop
+            # window still left the NIC, so it occupies the medium too.
             start = max(self.scheduler.now, self._medium_free_at)
             transmission_ms = (size * 8.0 / self.shared_bandwidth_bps) * 1000.0
             self._medium_free_at = start + transmission_ms
             arrival = self._medium_free_at + delay
+            if dropped:
+                self.dropped_messages += 1
+                return
             self.scheduler.schedule_at(arrival, deliver)
         else:
+            if dropped:
+                self.dropped_messages += 1
+                return
             self.scheduler.schedule(delay, deliver)
 
     def _execute_delivery(self, pid: int, command: BRBDeliver) -> None:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Callable, List, Optional, Tuple
 
 from repro.core.errors import RuntimeAbort
@@ -37,12 +38,18 @@ class EventScheduler:
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay`` time units from now."""
+        if math.isnan(delay):
+            # ``NaN < 0`` is False, so without this check a NaN timestamp
+            # would enter the heap and corrupt its ordering invariant.
+            raise ValueError("cannot schedule an event with a NaN delay")
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
         heapq.heappush(self._queue, (self._now + delay, next(self._counter), callback))
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run at absolute virtual time ``time``."""
+        if math.isnan(time):
+            raise ValueError("cannot schedule an event at a NaN time")
         if time < self._now:
             raise ValueError(f"cannot schedule at {time}, current time is {self._now}")
         heapq.heappush(self._queue, (time, next(self._counter), callback))

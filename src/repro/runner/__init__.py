@@ -11,6 +11,7 @@ from repro.runner.configs import (
     PROTOCOL_CONFIGURATIONS,
     modification_set_for,
     protocol_factory,
+    protocol_family,
 )
 from repro.runner.experiment import (
     ExperimentConfig,
@@ -18,6 +19,7 @@ from repro.runner.experiment import (
     run_experiment,
     run_repeated,
 )
+from repro.runner.parallel import SweepExecutor, run_sweep
 from repro.runner.sweep import SweepPoint, sweep
 
 __all__ = [
@@ -27,7 +29,10 @@ __all__ = [
     "run_repeated",
     "SweepPoint",
     "sweep",
+    "SweepExecutor",
+    "run_sweep",
     "PROTOCOL_CONFIGURATIONS",
     "modification_set_for",
     "protocol_factory",
+    "protocol_family",
 ]

@@ -78,6 +78,15 @@ PROTOCOL_CONFIGURATIONS.update(
 )
 
 
+def protocol_family(protocol: str) -> str:
+    """Message-format family of a protocol name (for crafted adversary traffic)."""
+    if protocol == "bracha":
+        return "bracha"
+    if protocol in ("bracha_dolev", "dolev"):
+        return "bracha_dolev"
+    return "cross_layer"
+
+
 def protocol_factory(protocol: str, mods: ModificationSet = None) -> ProtocolBuilder:
     """Return a builder for one of the protocol families.
 
@@ -106,4 +115,9 @@ def protocol_factory(protocol: str, mods: ModificationSet = None) -> ProtocolBui
     raise ValueError(f"unknown protocol family: {protocol}")
 
 
-__all__ = ["PROTOCOL_CONFIGURATIONS", "modification_set_for", "protocol_factory"]
+__all__ = [
+    "PROTOCOL_CONFIGURATIONS",
+    "modification_set_for",
+    "protocol_factory",
+    "protocol_family",
+]

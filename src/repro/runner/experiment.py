@@ -16,15 +16,10 @@ from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
 from repro.core.modifications import ModificationSet
 from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.network.adversary import (
-    EquivocatingSource,
-    MessageDroppingRelay,
-    MuteProcess,
-    PathForgingRelay,
-)
+from repro.network.adversary import build_behaviour
 from repro.network.simulation.delays import AsynchronousDelay, DelayModel, FixedDelay
 from repro.network.simulation.network import SimulatedNetwork
-from repro.runner.configs import protocol_factory
+from repro.runner.configs import protocol_factory, protocol_family
 from repro.topology.generators import Topology, random_regular_topology
 
 
@@ -159,29 +154,28 @@ def _build_protocols(
     byzantine: Dict[int, str],
 ) -> Dict[int, object]:
     builder = protocol_factory(config.protocol, config.modifications)
-    family = "bracha" if config.protocol == "bracha" else (
-        "bracha_dolev" if config.protocol in ("bracha_dolev", "dolev") else "cross_layer"
-    )
+    family = protocol_family(config.protocol)
     protocols: Dict[int, object] = {}
     for pid in topology.nodes:
         neighbors = sorted(topology.neighbors(pid))
         behaviour = byzantine.get(pid)
         if behaviour is None:
             protocols[pid] = builder(pid, system, neighbors)
-        elif behaviour == "mute":
-            protocols[pid] = MuteProcess(pid, neighbors)
-        elif behaviour == "drop":
-            protocols[pid] = MessageDroppingRelay(
-                builder(pid, system, neighbors), drop_probability=0.5, seed=config.seed + pid
-            )
-        elif behaviour == "forge":
-            protocols[pid] = PathForgingRelay(
-                builder(pid, system, neighbors), system, seed=config.seed + pid
-            )
-        elif behaviour == "equivocate":
-            protocols[pid] = EquivocatingSource(pid, neighbors, family=family)
         else:
-            raise ConfigurationError(f"unknown Byzantine behaviour: {behaviour}")
+            try:
+                protocols[pid] = build_behaviour(
+                    behaviour,
+                    pid,
+                    neighbors,
+                    system=system,
+                    inner_factory=lambda pid=pid, neighbors=neighbors: builder(
+                        pid, system, neighbors
+                    ),
+                    family=family,
+                    seed=config.seed + pid,
+                )
+            except ValueError as exc:
+                raise ConfigurationError(str(exc)) from exc
     return protocols
 
 

@@ -1,0 +1,158 @@
+"""Parallel sweep executor over scenario grid cells.
+
+Runs a sequence of :class:`~repro.scenarios.spec.ScenarioSpec` cells
+through :func:`~repro.scenarios.engine.run_scenario`, either inline
+(``workers <= 1``) or fanned out over a :mod:`multiprocessing` pool.
+
+Guarantees:
+
+* **Seed stability** — a cell's result only depends on the cell itself
+  (every random choice derives from ``spec.seed``), so the parallel path
+  returns results equal to the serial path for the same cells, whatever
+  the worker count or scheduling order.
+* **Order preservation** — results come back in cell order.
+* **Caching** — with a ``cache_dir``, each result is persisted under its
+  scenario hash; re-running a sweep only executes the cells not yet
+  cached (the cached result's spec is verified against the requesting
+  cell before being trusted, so hash collisions degrade to a re-run).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Bump when the pickled result layout changes to invalidate stale caches.
+_CACHE_VERSION = 1
+
+
+def _execute_cell(spec: ScenarioSpec) -> ScenarioResult:
+    """Top-level worker entry point (must be picklable for the pool)."""
+    return run_scenario(spec)
+
+
+class SweepExecutor:
+    """Runs scenario cells serially or over a process pool.
+
+    Parameters
+    ----------
+    workers:
+        Number of worker processes; ``None`` uses the CPU count and
+        ``workers <= 1`` selects the serial path (no pool, no pickling).
+    cache_dir:
+        Directory for per-cell result caching keyed by scenario hash;
+        ``None`` disables caching.
+    mp_context:
+        Optional :mod:`multiprocessing` start method (``"fork"``,
+        ``"spawn"``, …); ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = None,
+        cache_dir: Optional[Union[str, Path]] = None,
+        mp_context: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be positive, got {workers}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.mp_context = mp_context
+        #: Number of cells served from the cache by the last ``run`` call.
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    # Cache
+    # ------------------------------------------------------------------
+    def _cache_path(self, spec: ScenarioSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{spec.scenario_hash()}.pkl"
+
+    def _cache_load(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
+        path = self._cache_path(spec)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                version, result = pickle.load(handle)
+        except Exception:
+            # Any unreadable entry — truncated file, foreign pickle, a
+            # payload from a code version whose classes moved — degrades
+            # to a re-run, never to a failed sweep.
+            return None
+        if version != _CACHE_VERSION or not isinstance(result, ScenarioResult):
+            return None
+        if result.spec != spec:
+            # Hash collision or stale spec layout: recompute.
+            return None
+        return result
+
+    def _cache_store(self, result: ScenarioResult) -> None:
+        path = self._cache_path(result.spec)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump((_CACHE_VERSION, result), handle)
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        """Run every cell and return results in cell order."""
+        cells = list(cells)
+        results: List[Optional[ScenarioResult]] = [None] * len(cells)
+        self.cache_hits = 0
+
+        pending: List[int] = []
+        for index, spec in enumerate(cells):
+            cached = self._cache_load(spec)
+            if cached is not None:
+                results[index] = cached
+                self.cache_hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            specs = [cells[index] for index in pending]
+            if self.workers <= 1 or len(specs) == 1:
+                fresh = [_execute_cell(spec) for spec in specs]
+            else:
+                context = (
+                    multiprocessing.get_context(self.mp_context)
+                    if self.mp_context is not None
+                    else multiprocessing
+                )
+                pool_size = min(self.workers, len(specs))
+                with context.Pool(processes=pool_size) as pool:
+                    fresh = pool.map(_execute_cell, specs, chunksize=1)
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                self._cache_store(result)
+
+        return results  # type: ignore[return-value]
+
+
+def run_sweep(
+    cells: Sequence[ScenarioSpec],
+    *,
+    workers: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    mp_context: Optional[str] = None,
+) -> List[ScenarioResult]:
+    """One-shot convenience wrapper around :class:`SweepExecutor`."""
+    executor = SweepExecutor(workers=workers, cache_dir=cache_dir, mp_context=mp_context)
+    return executor.run(cells)
+
+
+__all__ = ["SweepExecutor", "run_sweep"]

@@ -1,0 +1,57 @@
+"""Declarative, reproducible simulation scenarios.
+
+This package turns the ad-hoc experiment loops of the benchmarks into a
+composable scenario engine:
+
+* :mod:`repro.scenarios.spec` — pure-data specs describing a topology, a
+  delay regime, a protocol configuration and an adversary;
+* :mod:`repro.scenarios.placement` — strategies choosing *where* the
+  Byzantine processes sit (random / max-degree / articulation-adjacent);
+* :mod:`repro.scenarios.faults` — timed fault events (crash-at-time,
+  link-drop windows, delayed-start nodes);
+* :mod:`repro.scenarios.grid` — cartesian expansion of a base spec into
+  sweep cells;
+* :mod:`repro.scenarios.engine` — the deterministic runner producing a
+  :class:`~repro.scenarios.engine.ScenarioResult` per cell.
+
+Scenario cells are plain picklable data, which is what lets
+:class:`repro.runner.parallel.SweepExecutor` fan them out over a process
+pool while guaranteeing results identical to a serial run.
+"""
+
+from repro.scenarios.engine import (
+    ScenarioResult,
+    build_network,
+    build_protocols,
+    place_byzantine,
+    run_scenario,
+)
+from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
+from repro.scenarios.grid import expand_grid, seed_cells
+from repro.scenarios.placement import PLACEMENT_STRATEGIES, place_adversaries
+from repro.scenarios.spec import AdversarySpec, DelaySpec, ScenarioSpec, TopologySpec
+
+__all__ = [
+    # specs
+    "ScenarioSpec",
+    "TopologySpec",
+    "DelaySpec",
+    "AdversarySpec",
+    # faults
+    "CrashAt",
+    "LinkDropWindow",
+    "DelayedStart",
+    "FaultEvent",
+    # placement
+    "PLACEMENT_STRATEGIES",
+    "place_adversaries",
+    # grid
+    "expand_grid",
+    "seed_cells",
+    # engine
+    "ScenarioResult",
+    "run_scenario",
+    "build_network",
+    "build_protocols",
+    "place_byzantine",
+]

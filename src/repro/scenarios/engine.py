@@ -1,0 +1,261 @@
+"""Scenario engine: build and run one :class:`ScenarioSpec`.
+
+:func:`run_scenario` is the single entry point the serial and parallel
+sweep executors share: it deterministically expands a spec into a
+topology, a set of protocol instances (with Byzantine behaviours placed
+by the spec's strategies), a :class:`SimulatedNetwork` with the spec's
+fault events armed, runs one broadcast and freezes everything the
+evaluation needs into a :class:`ScenarioResult`.
+
+Determinism contract: every random choice — topology generation, link
+delays, adversary placement, randomized behaviours — is derived from
+``spec.seed``, so ``run_scenario(spec)`` returns an equal result whether
+it runs inline or in a worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector, RunMetrics
+from repro.network.adversary import build_behaviour
+from repro.network.simulation.network import SimulatedNetwork
+from repro.runner.configs import protocol_factory, protocol_family
+from repro.scenarios.faults import CrashAt
+from repro.scenarios.placement import place_adversaries
+from repro.scenarios.spec import ScenarioSpec
+from repro.topology.generators import Topology
+
+#: Trace entry: (delivery time ms, process, source, bid, payload hex).
+TraceEntry = Tuple[float, int, int, int, str]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Deterministic outcome of one scenario run.
+
+    Two runs of the same spec compare equal — the parallel executor's
+    correctness tests rely on this.  The full :class:`RunMetrics` snapshot
+    rides along for detailed analysis but is excluded from equality; the
+    comparable fields are the deterministic summary.
+    """
+
+    spec: ScenarioSpec
+    scenario_hash: str
+    topology_name: str
+    byzantine: Tuple[Tuple[int, str], ...]
+    crashed: Tuple[int, ...]
+    correct_processes: Tuple[int, ...]
+    delivered_processes: Tuple[int, ...]
+    latency_ms: Optional[float]
+    total_bytes: int
+    message_count: int
+    dropped_messages: int
+    payload_hex: str
+    delivery_trace: Tuple[TraceEntry, ...]
+    metrics: RunMetrics = field(compare=False, repr=False)
+
+    # ------------------------------------------------------------------
+    # Correctness predicates
+    # ------------------------------------------------------------------
+    @property
+    def all_correct_delivered(self) -> bool:
+        """BRB-Totality over the correct, non-crashed processes."""
+        return set(self.correct_processes) <= set(self.delivered_processes)
+
+    @property
+    def agreement_holds(self) -> bool:
+        """No two correct processes delivered different payloads."""
+        payloads = {
+            payload
+            for _, pid, _, _, payload in self.delivery_trace
+            if pid in self.correct_processes
+        }
+        return len(payloads) <= 1
+
+    @property
+    def validity_holds(self) -> bool:
+        """Correct processes only delivered the payload the source sent.
+
+        Vacuously true when the source is Byzantine (BRB-Validity only
+        constrains broadcasts by correct sources).
+        """
+        if any(pid == self.spec.source for pid, _ in self.byzantine):
+            return True
+        return all(
+            payload == self.payload_hex
+            for _, pid, _, _, payload in self.delivery_trace
+            if pid in self.correct_processes
+        )
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-serializable deterministic summary (golden-file format)."""
+        return {
+            "scenario": self.spec.name,
+            "hash": self.scenario_hash,
+            "topology": self.topology_name,
+            "byzantine": [list(item) for item in self.byzantine],
+            "crashed": list(self.crashed),
+            "correct": list(self.correct_processes),
+            "delivered": list(self.delivered_processes),
+            "latency_ms": self.latency_ms,
+            "total_bytes": self.total_bytes,
+            "message_count": self.message_count,
+            "dropped_messages": self.dropped_messages,
+            "messages_by_type": dict(sorted(self.metrics.messages_by_type.items())),
+            "bytes_by_type": dict(sorted(self.metrics.bytes_by_type.items())),
+            "trace": [list(entry) for entry in self.delivery_trace],
+        }
+
+
+def place_byzantine(spec: ScenarioSpec, topology: Topology) -> Dict[int, object]:
+    """Assign processes to the spec's adversary slots.
+
+    Returns pid → :class:`AdversarySpec`.  Placement is deterministic: the
+    strategies are seeded from ``spec.seed`` plus the adversary-spec
+    index, the source is only eligible for the ``"equivocate"`` behaviour,
+    and earlier specs claim processes before later ones.
+    """
+    assignments: Dict[int, object] = {}
+    for index, adversary in enumerate(spec.adversaries):
+        count = adversary.count
+        if adversary.behaviour == "equivocate" and count > 0:
+            if count > 1:
+                # Equivocation only acts at the broadcasting process; a
+                # non-source EquivocatingSource would silently behave as
+                # mute and misreport what was measured.
+                raise ConfigurationError(
+                    "the 'equivocate' behaviour only applies to the source "
+                    f"(count=1); got count={count}"
+                )
+            if spec.source in assignments:
+                raise ConfigurationError(
+                    "the source is already assigned another behaviour"
+                )
+            assignments[spec.source] = adversary
+            count -= 1
+        if count <= 0:
+            continue
+        placed = place_adversaries(
+            topology,
+            count,
+            adversary.placement,
+            seed=spec.seed + 7919 * (index + 1),
+            exclude=set(assignments) | {spec.source},
+        )
+        for pid in placed:
+            assignments[pid] = adversary
+    return assignments
+
+
+def build_protocols(
+    spec: ScenarioSpec, topology: Topology, byzantine: Dict[int, object]
+) -> Dict[int, object]:
+    """One protocol or behaviour instance per process of the topology."""
+    system = spec.system()
+    builder = protocol_factory(spec.protocol, spec.modifications)
+    family = protocol_family(spec.protocol)
+    protocols: Dict[int, object] = {}
+    for pid in topology.nodes:
+        neighbors = sorted(topology.neighbors(pid))
+        adversary = byzantine.get(pid)
+        if adversary is None:
+            protocols[pid] = builder(pid, system, neighbors)
+        else:
+            protocols[pid] = build_behaviour(
+                adversary.behaviour,
+                pid,
+                neighbors,
+                system=system,
+                inner_factory=lambda pid=pid, neighbors=neighbors: builder(
+                    pid, system, neighbors
+                ),
+                family=family,
+                seed=spec.seed + pid,
+                drop_probability=adversary.drop_probability,
+            )
+    return protocols
+
+
+def build_network(spec: ScenarioSpec) -> Tuple[SimulatedNetwork, Dict[int, str]]:
+    """Expand a spec into a ready-to-run network.
+
+    Returns the network (faults armed, broadcast not yet initiated) and
+    the pid → behaviour-name map of the placed adversaries.
+    """
+    topology = spec.topology.build(spec.seed)
+    if spec.source not in topology.adjacency:
+        raise ConfigurationError(
+            f"source {spec.source} is not a process of the topology"
+        )
+    if spec.protocol == "bracha" and not topology.is_fully_connected():
+        # Bracha's protocol assumes every pair of processes shares a
+        # channel; on a partial graph it silently never delivers.
+        raise ConfigurationError(
+            "the 'bracha' protocol requires a complete topology; "
+            f"got {topology.name}"
+        )
+    byzantine = place_byzantine(spec, topology)
+    protocols = build_protocols(spec, topology, byzantine)
+    network = SimulatedNetwork(
+        topology,
+        protocols,
+        delay_model=spec.delay.build(),
+        seed=spec.seed,
+        collector=MetricsCollector(),
+        shared_bandwidth_bps=spec.shared_bandwidth_bps,
+    )
+    for fault in spec.faults:
+        fault.apply(network)
+    return network, {pid: adv.behaviour for pid, adv in byzantine.items()}
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario end to end and freeze its result."""
+    network, byzantine = build_network(spec)
+    payload = spec.payload()
+    network.broadcast(spec.source, payload, spec.bid)
+    metrics = network.run(max_events=spec.max_events)
+
+    crashed = tuple(
+        sorted({fault.pid for fault in spec.faults if isinstance(fault, CrashAt)})
+    )
+    correct = tuple(
+        pid
+        for pid in network.topology.nodes
+        if pid not in byzantine and pid not in crashed
+    )
+    key = (spec.source, spec.bid)
+    trace = tuple(
+        (time, pid, bkey[0], bkey[1], metrics.delivered_payloads[(pid, bkey)].hex())
+        for (pid, bkey), time in metrics.delivery_times.items()
+        if bkey == key
+    )
+    return ScenarioResult(
+        spec=spec,
+        scenario_hash=spec.scenario_hash(),
+        topology_name=network.topology.name,
+        byzantine=tuple(sorted(byzantine.items())),
+        crashed=crashed,
+        correct_processes=correct,
+        delivered_processes=metrics.delivering_processes(key),
+        latency_ms=metrics.delivery_latency(key, correct),
+        total_bytes=metrics.total_bytes,
+        message_count=metrics.message_count,
+        dropped_messages=network.dropped_messages,
+        payload_hex=payload.hex(),
+        delivery_trace=trace,
+        metrics=metrics,
+    )
+
+
+__all__ = [
+    "ScenarioResult",
+    "TraceEntry",
+    "place_byzantine",
+    "build_protocols",
+    "build_network",
+    "run_scenario",
+]

@@ -1,0 +1,68 @@
+"""Timed fault events injected into a :class:`SimulatedNetwork` run.
+
+These extend the static Byzantine placement of
+:class:`~repro.scenarios.spec.AdversarySpec` with dynamic faults: a
+process crashing mid-run, a link dropping every message during a time
+window, or a process that boots late.  Each event is a small frozen
+dataclass with an ``apply`` hook the scenario engine calls on the network
+before the run starts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+
+@dataclass(frozen=True)
+class CrashAt:
+    """Crash process ``pid`` at absolute simulated time ``time_ms``.
+
+    A crash at time 0 takes effect before the process runs ``on_start``,
+    so it never participates at all; a later crash silences a process that
+    may already have relayed part of a broadcast.
+    """
+
+    pid: int
+    time_ms: float = 0.0
+
+    def apply(self, network) -> None:
+        network.crash_at(self.pid, self.time_ms)
+
+
+@dataclass(frozen=True)
+class LinkDropWindow:
+    """Lose every message put on the ``{u, v}`` link in ``[start_ms, end_ms)``.
+
+    ``end_ms=None`` models a link that goes down and never reopens — the
+    protocols must then route around it through the remaining disjoint
+    paths (or fail to deliver if the graph is not connected enough).
+    """
+
+    u: int
+    v: int
+    start_ms: float = 0.0
+    end_ms: Optional[float] = None
+
+    def apply(self, network) -> None:
+        network.add_link_drop_window(self.u, self.v, self.start_ms, self.end_ms)
+
+
+@dataclass(frozen=True)
+class DelayedStart:
+    """Keep process ``pid`` dormant until absolute time ``time_ms``.
+
+    Messages arriving earlier are buffered and replayed in arrival order
+    at wake-up, modelling a correct node that boots late.
+    """
+
+    pid: int
+    time_ms: float
+
+    def apply(self, network) -> None:
+        network.delay_start(self.pid, self.time_ms)
+
+
+FaultEvent = Union[CrashAt, LinkDropWindow, DelayedStart]
+
+__all__ = ["CrashAt", "LinkDropWindow", "DelayedStart", "FaultEvent"]

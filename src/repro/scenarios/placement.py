@@ -1,0 +1,116 @@
+"""Adversary placement strategies.
+
+Given a topology and a number of Byzantine slots, a strategy picks which
+processes misbehave.  All strategies are deterministic for a given seed,
+which the parallel sweep executor relies on.
+
+* ``"random"`` — uniform choice among the eligible processes (the paper's
+  setting: Byzantine processes are placed at random, excluding the
+  source).
+* ``"max_degree"`` — the best-connected processes, the strongest static
+  placement against flooding protocols: a high-degree Byzantine relay
+  silences or pollutes the most paths.
+* ``"articulation_adjacent"`` — processes at or next to articulation
+  points, the cut vertices of the graph.  On weakly connected graphs this
+  concentrates the adversary around the bottlenecks every path must
+  cross; on biconnected graphs (no articulation points) it falls back to
+  the neighborhood of the minimum-degree process — the closest thing to a
+  bottleneck — topped up by degree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.core.errors import ConfigurationError
+from repro.topology.analysis import articulation_points
+from repro.topology.generators import Topology
+
+
+def _eligible(topology: Topology, exclude: Iterable[int]) -> List[int]:
+    excluded = set(exclude)
+    return [pid for pid in topology.nodes if pid not in excluded]
+
+
+def _place_random(
+    topology: Topology, count: int, candidates: Sequence[int], seed: int
+) -> List[int]:
+    return random.Random(seed).sample(list(candidates), count)
+
+
+def _place_max_degree(
+    topology: Topology, count: int, candidates: Sequence[int], seed: int
+) -> List[int]:
+    ranked = sorted(candidates, key=lambda pid: (-topology.degree(pid), pid))
+    return ranked[:count]
+
+
+def _place_articulation_adjacent(
+    topology: Topology, count: int, candidates: Sequence[int], seed: int
+) -> List[int]:
+    eligible = set(candidates)
+    points = [pid for pid in articulation_points(topology) if pid in eligible]
+    if points:
+        anchors = points
+    else:
+        # Biconnected graph: anchor on the minimum-degree process instead.
+        anchors = sorted(candidates, key=lambda pid: (topology.degree(pid), pid))[:1]
+    chosen: List[int] = []
+    seen = set()
+    for pid in anchors:
+        if pid not in seen:
+            chosen.append(pid)
+            seen.add(pid)
+    for anchor in anchors:
+        for neighbor in sorted(topology.neighbors(anchor)):
+            if neighbor in eligible and neighbor not in seen:
+                chosen.append(neighbor)
+                seen.add(neighbor)
+    if len(chosen) < count:
+        for pid in _place_max_degree(topology, len(candidates), candidates, seed):
+            if pid not in seen:
+                chosen.append(pid)
+                seen.add(pid)
+    return chosen[:count]
+
+
+PLACEMENT_STRATEGIES = {
+    "random": _place_random,
+    "max_degree": _place_max_degree,
+    "articulation_adjacent": _place_articulation_adjacent,
+}
+
+
+def place_adversaries(
+    topology: Topology,
+    count: int,
+    strategy: str = "random",
+    *,
+    seed: int = 0,
+    exclude: Iterable[int] = (),
+) -> Tuple[int, ...]:
+    """Pick ``count`` Byzantine processes, sorted, excluding ``exclude``.
+
+    Raises :class:`ConfigurationError` when the strategy is unknown or
+    fewer than ``count`` processes are eligible.
+    """
+    try:
+        place = PLACEMENT_STRATEGIES[strategy]
+    except KeyError as exc:
+        raise ConfigurationError(
+            f"unknown placement strategy {strategy!r}; "
+            f"expected one of {tuple(PLACEMENT_STRATEGIES)}"
+        ) from exc
+    candidates = _eligible(topology, exclude)
+    if count > len(candidates):
+        raise ConfigurationError(
+            f"cannot place {count} adversaries among {len(candidates)} "
+            "eligible processes"
+        )
+    if count <= 0:
+        return ()
+    return tuple(sorted(place(topology, count, candidates, seed)))
+
+
+__all__ = ["PLACEMENT_STRATEGIES", "place_adversaries"]

@@ -1,0 +1,242 @@
+"""Declarative scenario specifications.
+
+A :class:`ScenarioSpec` is a plain, hashable, picklable description of one
+simulated broadcast: which topology to generate, which delay regime the
+links follow, which protocol configuration runs on the correct processes,
+where the Byzantine processes sit (see
+:mod:`repro.scenarios.placement`), and which fault events fire during the
+run (see :mod:`repro.scenarios.faults`).
+
+Being pure data, specs can be expanded into grids
+(:mod:`repro.scenarios.grid`), shipped to worker processes by the
+parallel sweep executor (:mod:`repro.runner.parallel`) and hashed into a
+stable cache key with :meth:`ScenarioSpec.scenario_hash`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.modifications import ModificationSet
+from repro.network.adversary import BEHAVIOUR_NAMES
+from repro.network.simulation.delays import (
+    AsynchronousDelay,
+    DelayModel,
+    FixedDelay,
+    UniformDelay,
+)
+from repro.scenarios.faults import FaultEvent
+from repro.scenarios.placement import PLACEMENT_STRATEGIES
+from repro.topology.generators import (
+    Topology,
+    complete_topology,
+    harary_topology,
+    line_topology,
+    random_regular_topology,
+    ring_topology,
+    torus_topology,
+)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Declarative description of a communication graph.
+
+    ``kind`` selects the generator:
+
+    * ``"random_regular"`` — the paper's workload: a random ``k``-regular
+      graph regenerated until it is ``min_connectivity``-connected (the
+      scenario seed drives the generation);
+    * ``"harary"`` — the minimal ``k``-connected graph H(k, n);
+    * ``"complete"`` / ``"ring"`` / ``"line"`` — deterministic classics;
+    * ``"torus"`` — a ``rows × cols`` periodic grid (``n`` is ignored and
+      derived as ``rows * cols``).
+    """
+
+    kind: str = "random_regular"
+    n: int = 10
+    k: int = 0
+    rows: int = 0
+    cols: int = 0
+    min_connectivity: Optional[int] = None
+
+    _KINDS = ("random_regular", "harary", "complete", "ring", "line", "torus")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"unknown topology kind {self.kind!r}; expected one of {self._KINDS}"
+            )
+
+    @property
+    def node_count(self) -> int:
+        """Number of processes the built topology will have."""
+        if self.kind == "torus":
+            return self.rows * self.cols
+        return self.n
+
+    def build(self, seed: int = 0) -> Topology:
+        """Generate the topology (``seed`` only matters for random kinds)."""
+        if self.kind == "random_regular":
+            return random_regular_topology(
+                self.n, self.k, seed=seed, min_connectivity=self.min_connectivity
+            )
+        if self.kind == "harary":
+            return harary_topology(self.n, self.k)
+        if self.kind == "complete":
+            return complete_topology(self.n)
+        if self.kind == "ring":
+            return ring_topology(self.n)
+        if self.kind == "line":
+            return line_topology(self.n)
+        return torus_topology(self.rows, self.cols)
+
+
+@dataclass(frozen=True)
+class DelaySpec:
+    """Declarative description of a link-delay model.
+
+    ``kind`` is ``"fixed"`` (the paper's synchronous 50 ms setting),
+    ``"normal"`` (the asynchronous Normal(mean, std) setting) or
+    ``"uniform"`` (delays drawn from ``[low_ms, high_ms]``).
+    """
+
+    kind: str = "fixed"
+    mean_ms: float = 50.0
+    std_ms: float = 50.0
+    low_ms: float = 10.0
+    high_ms: float = 100.0
+
+    _KINDS = ("fixed", "normal", "uniform")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._KINDS:
+            raise ConfigurationError(
+                f"unknown delay kind {self.kind!r}; expected one of {self._KINDS}"
+            )
+
+    def build(self) -> DelayModel:
+        """Instantiate the matching :class:`DelayModel`."""
+        if self.kind == "fixed":
+            return FixedDelay(self.mean_ms)
+        if self.kind == "normal":
+            return AsynchronousDelay(self.mean_ms, self.std_ms)
+        return UniformDelay(self.low_ms, self.high_ms)
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """``count`` processes exhibiting one Byzantine behaviour.
+
+    ``behaviour`` is one of :data:`repro.network.adversary.BEHAVIOUR_NAMES`
+    (``"mute"``, ``"drop"``, ``"forge"``, ``"equivocate"``); ``placement``
+    is one of the strategies of :mod:`repro.scenarios.placement`
+    (``"random"``, ``"max_degree"``, ``"articulation_adjacent"``).  For
+    ``"equivocate"`` the first slot is always the broadcast source — the
+    attack only makes sense there.
+    """
+
+    behaviour: str = "mute"
+    count: int = 1
+    placement: str = "random"
+    drop_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.behaviour not in BEHAVIOUR_NAMES:
+            raise ConfigurationError(
+                f"unknown behaviour {self.behaviour!r}; expected one of {BEHAVIOUR_NAMES}"
+            )
+        if self.placement not in PLACEMENT_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown placement {self.placement!r}; "
+                f"expected one of {tuple(PLACEMENT_STRATEGIES)}"
+            )
+        if self.count < 0:
+            raise ConfigurationError(f"count must be non-negative, got {self.count}")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One reproducible simulated-broadcast scenario.
+
+    Everything the run depends on is in the spec, so two runs of the same
+    spec — in the same process or in different worker processes — produce
+    identical results.  ``seed`` drives the topology generation, the link
+    delays, the adversary placement and any randomized behaviour.
+    """
+
+    name: str = "scenario"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    delay: DelaySpec = field(default_factory=DelaySpec)
+    protocol: str = "cross_layer"
+    modifications: ModificationSet = field(default_factory=ModificationSet.dolev_optimized)
+    f: int = 0
+    payload_size: int = 16
+    source: int = 0
+    bid: int = 0
+    seed: int = 0
+    adversaries: Tuple[AdversarySpec, ...] = ()
+    faults: Tuple[FaultEvent, ...] = ()
+    max_events: Optional[int] = 5_000_000
+    shared_bandwidth_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        requested = sum(spec.count for spec in self.adversaries)
+        if requested > self.f:
+            raise ConfigurationError(
+                f"{requested} Byzantine processes requested but f={self.f}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived values
+    # ------------------------------------------------------------------
+    def system(self) -> SystemConfig:
+        """The :class:`SystemConfig` shared by every protocol instance."""
+        return SystemConfig.for_system(self.topology.node_count, self.f)
+
+    def payload(self) -> bytes:
+        """A deterministic payload of ``payload_size`` bytes."""
+        pattern = b"repro-scenario-"
+        data = (pattern * (self.payload_size // len(pattern) + 1))[: self.payload_size]
+        return data if data else b""
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this scenario with a different seed."""
+        return replace(self, seed=seed)
+
+    def scenario_hash(self) -> str:
+        """Stable hex digest identifying this scenario.
+
+        Used as the parallel executor's cache key: two specs with equal
+        fields hash identically across processes and interpreter runs
+        (unlike ``hash()``, which is salted per interpreter).
+        """
+        canonical = json.dumps(_canonical(self), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _canonical(value):
+    """Recursively convert a spec to JSON-serializable canonical form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields_dict = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if f.compare
+        }
+        return {"__type__": type(value).__name__, **fields_dict}
+    if isinstance(value, (tuple, list)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, dict):
+        return {str(key): _canonical(val) for key, val in value.items()}
+    return value
+
+
+__all__ = ["TopologySpec", "DelaySpec", "AdversarySpec", "ScenarioSpec"]

@@ -18,6 +18,7 @@ from repro.topology.generators import (
     torus_topology,
 )
 from repro.topology.analysis import (
+    articulation_points,
     disjoint_path_count,
     meets_connectivity_requirement,
     vertex_connectivity,
@@ -33,5 +34,6 @@ __all__ = [
     "torus_topology",
     "vertex_connectivity",
     "disjoint_path_count",
+    "articulation_points",
     "meets_connectivity_requirement",
 ]

@@ -59,6 +59,17 @@ def disjoint_path_count(topology: Topology, source: int, target: int) -> int:
     return len(list(nx.node_disjoint_paths(graph, source, target)))
 
 
+def articulation_points(topology: Topology) -> Tuple[int, ...]:
+    """Processes whose removal disconnects the graph, sorted.
+
+    Empty for every biconnected graph — in particular for any topology
+    meeting the ``2f + 1``-connectivity requirement with ``f >= 1``.  The
+    adversary placement strategies use these as the highest-leverage spots
+    for Byzantine processes on weakly connected graphs.
+    """
+    return tuple(sorted(nx.articulation_points(topology.to_networkx())))
+
+
 def all_pairs_min_disjoint_paths(topology: Topology) -> Tuple[int, List[Tuple[int, int]]]:
     """Minimum number of vertex-disjoint paths over all process pairs.
 
@@ -84,5 +95,6 @@ __all__ = [
     "meets_connectivity_requirement",
     "require_connectivity",
     "disjoint_path_count",
+    "articulation_points",
     "all_pairs_min_disjoint_paths",
 ]

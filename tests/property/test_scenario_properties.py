@@ -1,0 +1,152 @@
+"""Property-based tests of the scenario engine and the sweep executors.
+
+Two contracts are checked over randomly drawn scenarios:
+
+* **Safety** — any generated scenario with at most ``f`` Byzantine
+  processes on a ``(2f + 1)``-connected topology still satisfies
+  BRB-Agreement and BRB-Validity, whatever the placement strategy, delay
+  regime or behaviour mix; with a correct source it also satisfies
+  Totality.
+* **Executor determinism** — the parallel executor returns results equal
+  to the serial path for the same cells and seeds (same grid order, same
+  per-cell outcomes), and running a spec twice yields equal results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.modifications import ModificationSet
+from repro.runner.parallel import SweepExecutor, run_sweep
+from repro.scenarios import (
+    AdversarySpec,
+    DelaySpec,
+    ScenarioSpec,
+    TopologySpec,
+    expand_grid,
+    run_scenario,
+)
+
+MODIFICATION_PRESETS = (
+    ModificationSet.dolev_optimized(),
+    ModificationSet.latency_and_bandwidth_optimized(),
+    ModificationSet.all_enabled(),
+)
+
+BEHAVIOURS = ("mute", "drop", "forge", "equivocate")
+PLACEMENTS = ("random", "max_degree", "articulation_adjacent")
+DELAYS = (
+    DelaySpec(kind="fixed", mean_ms=10.0),
+    DelaySpec(kind="normal", mean_ms=20.0, std_ms=20.0),
+    DelaySpec(kind="uniform", low_ms=1.0, high_ms=30.0),
+)
+
+
+@st.composite
+def connected_scenarios(draw):
+    """A scenario with ≤ f Byzantine processes on a (2f+1)-connected graph."""
+    f = draw(st.integers(min_value=0, max_value=2))
+    required = 2 * f + 1
+    n = draw(st.integers(min_value=max(3 * f + 1, required + 1, 4), max_value=10))
+    kind = draw(st.sampled_from(("complete", "harary", "random_regular")))
+    if kind == "complete" or required < 2:
+        topology = TopologySpec(kind="complete", n=n)
+    elif kind == "harary":
+        topology = TopologySpec(kind="harary", n=n, k=required)
+    else:
+        k = required if (n * required) % 2 == 0 else required + 1
+        if k >= n:
+            topology = TopologySpec(kind="complete", n=n)
+        else:
+            topology = TopologySpec(kind="random_regular", n=n, k=k, min_connectivity=required)
+
+    adversaries = ()
+    count = draw(st.integers(min_value=0, max_value=f))
+    if count:
+        adversaries = (
+            AdversarySpec(
+                behaviour=draw(st.sampled_from(BEHAVIOURS)),
+                count=count,
+                placement=draw(st.sampled_from(PLACEMENTS)),
+            ),
+        )
+    return ScenarioSpec(
+        name="property",
+        topology=topology,
+        delay=draw(st.sampled_from(DELAYS)),
+        protocol="cross_layer",
+        modifications=draw(st.sampled_from(MODIFICATION_PRESETS)),
+        f=f,
+        payload_size=draw(st.integers(min_value=0, max_value=64)),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+        adversaries=adversaries,
+    )
+
+
+@pytest.mark.slow
+@settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=connected_scenarios())
+def test_scenarios_preserve_brb_safety(spec):
+    result = run_scenario(spec)
+    assert result.agreement_holds
+    assert result.validity_holds
+    # With a correct source, every correct process must also deliver
+    # (BRB-Totality): at most f Byzantine on a (2f+1)-connected graph.
+    source_is_byzantine = any(pid == spec.source for pid, _ in result.byzantine)
+    if not source_is_byzantine:
+        assert result.all_correct_delivered
+        assert result.latency_ms is not None
+
+
+@pytest.mark.slow
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=connected_scenarios())
+def test_running_a_spec_twice_is_deterministic(spec):
+    assert run_scenario(spec) == run_scenario(spec)
+
+
+def _executor_cells():
+    base = ScenarioSpec(
+        name="executor-property",
+        topology=TopologySpec(kind="random_regular", n=10, k=5, min_connectivity=5),
+        delay=DelaySpec(kind="normal", mean_ms=20.0, std_ms=20.0),
+        modifications=ModificationSet.latency_and_bandwidth_optimized(),
+        f=2,
+        adversaries=(AdversarySpec(behaviour="mute", count=1, placement="max_degree"),),
+        seed=100,
+    )
+    return expand_grid(base, {"topology.k": [5, 7], "seed": range(100, 104)})
+
+
+@pytest.mark.slow
+def test_parallel_executor_matches_serial_path():
+    cells = _executor_cells()
+    serial = run_sweep(cells, workers=1)
+    parallel = run_sweep(cells, workers=2)
+    assert parallel == serial
+    # Order preservation: results come back in cell order.
+    assert [r.spec for r in parallel] == list(cells)
+
+
+@pytest.mark.slow
+def test_parallel_executor_is_insensitive_to_worker_count():
+    cells = _executor_cells()[:4]
+    two = run_sweep(cells, workers=2)
+    three = run_sweep(cells, workers=3)
+    assert two == three
+
+
+def test_executor_cache_round_trips_results(tmp_path):
+    cells = _executor_cells()[:3]
+    executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+    fresh = executor.run(cells)
+    assert executor.cache_hits == 0
+    cached = executor.run(cells)
+    assert executor.cache_hits == len(cells)
+    assert cached == fresh
+
+    # A corrupted cache entry degrades to a re-run, not a crash.
+    victim = tmp_path / f"{cells[0].scenario_hash()}.pkl"
+    victim.write_bytes(b"not a pickle")
+    again = executor.run(cells)
+    assert again == fresh
+    assert executor.cache_hits == len(cells) - 1

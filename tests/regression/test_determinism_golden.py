@@ -1,0 +1,123 @@
+"""Golden-file determinism tests for the scheduler's tie-breaking contract.
+
+For a fixed seed, a run is fully deterministic: the event scheduler
+breaks timestamp ties by insertion order (see
+``repro/network/simulation/scheduler.py``), every random choice derives
+from the scenario seed, and the delivery trace and metric summary must
+therefore be *byte-identical* across runs, machines and worker processes.
+
+These tests pin that contract for the three protocol stacks the paper
+evaluates — Dolev, Bracha and the Bracha-Dolev combination — plus a
+fault-heavy cross-layer scenario.  Any change to message ordering, RNG
+consumption or metric accounting shows up as a golden-file diff.
+
+Regenerate the golden files after an *intentional* contract change with:
+
+    PYTHONPATH=src python tests/regression/test_determinism_golden.py --regenerate
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.modifications import ModificationSet
+from repro.scenarios import (
+    AdversarySpec,
+    CrashAt,
+    DelayedStart,
+    DelaySpec,
+    LinkDropWindow,
+    ScenarioSpec,
+    TopologySpec,
+    run_scenario,
+)
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+SCENARIOS = {
+    "dolev": ScenarioSpec(
+        name="golden-dolev",
+        topology=TopologySpec(kind="random_regular", n=8, k=3, min_connectivity=3),
+        delay=DelaySpec(kind="normal", mean_ms=50.0, std_ms=50.0),
+        protocol="dolev",
+        modifications=ModificationSet.dolev_optimized(),
+        f=1,
+        payload_size=16,
+        seed=42,
+    ),
+    "bracha": ScenarioSpec(
+        name="golden-bracha",
+        topology=TopologySpec(kind="complete", n=7),
+        delay=DelaySpec(kind="normal", mean_ms=50.0, std_ms=50.0),
+        protocol="bracha",
+        f=2,
+        payload_size=16,
+        seed=7,
+    ),
+    "bracha_dolev": ScenarioSpec(
+        name="golden-bracha-dolev",
+        topology=TopologySpec(kind="random_regular", n=8, k=5, min_connectivity=3),
+        delay=DelaySpec(kind="normal", mean_ms=50.0, std_ms=50.0),
+        protocol="bracha_dolev",
+        modifications=ModificationSet.dolev_optimized(),
+        f=1,
+        payload_size=16,
+        seed=11,
+    ),
+    "cross_layer_faults": ScenarioSpec(
+        name="golden-cross-layer-faults",
+        topology=TopologySpec(kind="random_regular", n=10, k=5, min_connectivity=5),
+        delay=DelaySpec(kind="uniform", low_ms=5.0, high_ms=60.0),
+        protocol="cross_layer",
+        modifications=ModificationSet.latency_and_bandwidth_optimized(),
+        f=2,
+        payload_size=32,
+        seed=23,
+        adversaries=(AdversarySpec(behaviour="forge", count=1, placement="max_degree"),),
+        faults=(
+            CrashAt(pid=9, time_ms=40.0),
+            LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=30.0),
+            DelayedStart(pid=4, time_ms=80.0),
+        ),
+    ),
+}
+
+
+def golden_bytes(spec: ScenarioSpec) -> bytes:
+    """The canonical serialization compared byte-for-byte."""
+    summary = run_scenario(spec).summary()
+    return (json.dumps(summary, indent=2, sort_keys=True) + "\n").encode("utf-8")
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_fixed_seed_runs_match_golden_files(name):
+    path = GOLDEN_DIR / f"{name}.json"
+    assert path.exists(), (
+        f"missing golden file {path}; regenerate with "
+        "PYTHONPATH=src python tests/regression/test_determinism_golden.py --regenerate"
+    )
+    assert golden_bytes(SCENARIOS[name]) == path.read_bytes()
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_back_to_back_runs_are_byte_identical(name):
+    spec = SCENARIOS[name]
+    assert golden_bytes(spec) == golden_bytes(spec)
+
+
+def _regenerate() -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for name, spec in SCENARIOS.items():
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_bytes(golden_bytes(spec))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        _regenerate()
+    else:
+        print(__doc__)

@@ -1,0 +1,142 @@
+"""Unit tests for the crash / link-drop / delayed-start fault events."""
+
+import pytest
+
+from repro.core.errors import ConfigurationError
+from repro.scenarios import (
+    CrashAt,
+    DelayedStart,
+    DelaySpec,
+    LinkDropWindow,
+    ScenarioSpec,
+    TopologySpec,
+    run_scenario,
+)
+
+
+def ring_spec(n=6, **kwargs):
+    """An f=0 ring scenario: every delivery relies on simple flooding."""
+    defaults = dict(
+        topology=TopologySpec(kind="ring", n=n),
+        delay=DelaySpec(kind="fixed", mean_ms=10.0),
+        f=0,
+        seed=1,
+    )
+    defaults.update(kwargs)
+    return ScenarioSpec(**defaults)
+
+
+class TestCrashAt:
+    def test_crash_at_time_zero_never_participates(self):
+        # The crashed process must not deliver, relay, or even run
+        # on_start — its traffic is entirely absent from the run.
+        result = run_scenario(ring_spec(faults=(CrashAt(pid=3, time_ms=0.0),)))
+        assert result.crashed == (3,)
+        assert 3 not in result.delivered_processes
+        assert 3 not in result.correct_processes
+        assert result.metrics.messages_by_process.get(3, 0) == 0
+        # The ring minus one node is a line: still connected, so the
+        # remaining processes all deliver.
+        assert result.all_correct_delivered
+
+    def test_crash_at_zero_matches_a_never_started_process(self):
+        crashed = run_scenario(ring_spec(faults=(CrashAt(pid=3, time_ms=0.0),)))
+        assert crashed.latency_ms is not None
+
+    def test_mid_run_crash_silences_later_traffic(self):
+        healthy = run_scenario(ring_spec(n=8))
+        crashed = run_scenario(ring_spec(n=8, faults=(CrashAt(pid=1, time_ms=15.0),)))
+        # Process 1 (a neighbor of the source) forwarded for 15 ms and
+        # then went silent: it sent something, but less than when healthy.
+        sent_healthy = healthy.metrics.messages_by_process.get(1, 0)
+        sent_crashed = crashed.metrics.messages_by_process.get(1, 0)
+        assert 0 < sent_crashed < sent_healthy
+        assert 1 not in crashed.correct_processes
+
+    def test_crash_unknown_process_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(ring_spec(faults=(CrashAt(pid=99, time_ms=0.0),)))
+
+
+class TestLinkDropWindow:
+    def test_window_that_never_reopens_blocks_the_link_forever(self):
+        # Cutting {0, 1} on a ring leaves only the long way around: the
+        # broadcast still delivers, but messages were lost on the dead
+        # link for the whole run.
+        result = run_scenario(
+            ring_spec(faults=(LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=None),))
+        )
+        assert result.dropped_messages > 0
+        assert result.all_correct_delivered
+        healthy = run_scenario(ring_spec())
+        assert result.latency_ms > healthy.latency_ms
+
+    def test_two_permanent_cuts_partition_the_ring(self):
+        # Dropping both links adjacent to process 1 isolates it for good.
+        result = run_scenario(
+            ring_spec(
+                faults=(
+                    LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=None),
+                    LinkDropWindow(u=1, v=2, start_ms=0.0, end_ms=None),
+                )
+            )
+        )
+        assert 1 not in result.delivered_processes
+        assert result.latency_ms is None  # a correct process missed the broadcast
+
+    def test_window_end_is_exclusive_and_reopens(self):
+        # The window closes before the first transmission finishes its
+        # 10 ms hop chain: messages sent at or after end_ms go through.
+        blocked_forever = run_scenario(
+            ring_spec(faults=(LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=None),))
+        )
+        reopens = run_scenario(
+            ring_spec(faults=(LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=5.0),))
+        )
+        # After reopening, the relayed copies (sent at t >= 10 ms) use the
+        # link again, so fewer messages are lost than with the dead link.
+        assert reopens.dropped_messages < blocked_forever.dropped_messages
+
+    def test_drop_window_on_missing_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(ring_spec(faults=(LinkDropWindow(u=0, v=3, start_ms=0.0),)))
+
+    def test_backwards_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(
+                ring_spec(faults=(LinkDropWindow(u=0, v=1, start_ms=10.0, end_ms=5.0),))
+            )
+
+
+class TestDelayedStart:
+    def test_dormant_node_buffers_and_delivers_after_waking(self):
+        result = run_scenario(ring_spec(faults=(DelayedStart(pid=3, time_ms=200.0),)))
+        assert result.all_correct_delivered
+        late = [time for time, pid, _, _, _ in result.delivery_trace if pid == 3]
+        assert late and late[0] >= 200.0
+
+    def test_delayed_source_broadcasts_after_waking(self):
+        result = run_scenario(ring_spec(faults=(DelayedStart(pid=0, time_ms=100.0),)))
+        assert result.all_correct_delivered
+        # Nothing can happen before the source wakes up.
+        first_delivery = min(time for time, _, _, _, _ in result.delivery_trace)
+        assert first_delivery >= 100.0
+        healthy = run_scenario(ring_spec())
+        assert result.latency_ms == pytest.approx(healthy.latency_ms + 100.0)
+
+    def test_delayed_node_crashing_before_waking_never_acts(self):
+        result = run_scenario(
+            ring_spec(
+                faults=(DelayedStart(pid=3, time_ms=200.0), CrashAt(pid=3, time_ms=50.0))
+            )
+        )
+        assert 3 not in result.delivered_processes
+        assert result.metrics.messages_by_process.get(3, 0) == 0
+
+    def test_delay_unknown_process_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(ring_spec(faults=(DelayedStart(pid=77, time_ms=10.0),)))
+
+    def test_negative_start_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(ring_spec(faults=(DelayedStart(pid=3, time_ms=-1.0),)))

@@ -61,6 +61,30 @@ class TestScheduler:
         with pytest.raises(ValueError):
             scheduler.schedule(-1, lambda: None)
 
+    def test_nan_delay_rejected(self):
+        # ``NaN < 0`` is False, so a NaN used to slip past the negativity
+        # check and corrupt the heap ordering.
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule(float("nan"), lambda: None)
+        assert scheduler.pending == 0
+
+    def test_nan_schedule_at_rejected(self):
+        scheduler = EventScheduler()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(float("nan"), lambda: None)
+        assert scheduler.pending == 0
+
+    def test_heap_ordering_survives_rejected_nan(self):
+        scheduler = EventScheduler()
+        order = []
+        scheduler.schedule(20, lambda: order.append("b"))
+        with pytest.raises(ValueError):
+            scheduler.schedule(float("nan"), lambda: order.append("nan"))
+        scheduler.schedule(10, lambda: order.append("a"))
+        scheduler.run()
+        assert order == ["a", "b"]
+
     def test_schedule_at_in_the_past_rejected(self):
         scheduler = EventScheduler()
         scheduler.schedule(10, lambda: None)
