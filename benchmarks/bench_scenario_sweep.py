@@ -103,7 +103,17 @@ def test_scenario_sweep_parallel_executor(benchmark):
 
     # Safety holds in every cell: ≤ f Byzantine on a (2f+1)-connected graph.
     assert all(r.agreement_holds and r.validity_holds for r in parallel)
+    # CI uploads this record as a per-commit artifact; the backend is
+    # part of it so sweeps on other execution backends (spec.backend)
+    # stay distinguishable in the perf trajectory.
+    backends = sorted({cell.backend for cell in cells})
     save_record(
         "scenario_sweep",
-        {"scale": SCALE.name, "workers": workers, "cells": len(cells), "summary": summary},
+        {
+            "scale": SCALE.name,
+            "workers": workers,
+            "cells": len(cells),
+            "backends": backends,
+            "summary": summary,
+        },
     )

@@ -22,13 +22,16 @@ async def main() -> None:
     topology = harary_topology(n, 4)
     print(f"Starting {n} TCP nodes (connectivity {topology.vertex_connectivity()})...")
 
+    # Ports are ephemeral (each node binds port 0 and the cluster
+    # exchanges the actual ports), so any number of clusters can run
+    # concurrently; start() returns once the readiness barrier saw every
+    # neighbor connection established.
     cluster = AsyncioCluster(
         topology,
         config,
         lambda pid, cfg, neighbors: CrossLayerBrachaDolev(
             pid, cfg, neighbors, modifications=ModificationSet.all_enabled()
         ),
-        port_base=23500,
     )
     await cluster.start()
     try:

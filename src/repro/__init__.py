@@ -47,14 +47,20 @@ from repro.runner.experiment import ExperimentConfig, ExperimentResult, run_expe
 from repro.runner.parallel import SweepExecutor, run_sweep
 from repro.scenarios import (
     AdversarySpec,
+    AsyncioBackend,
+    ConformanceReport,
     CrashAt,
     DelayedStart,
     DelaySpec,
     LinkDropWindow,
+    ScenarioBackend,
     ScenarioResult,
     ScenarioSpec,
+    SimulationBackend,
     TopologySpec,
     expand_grid,
+    get_backend,
+    run_conformance,
     run_scenario,
     seed_cells,
 )
@@ -125,4 +131,11 @@ __all__ = [
     "seed_cells",
     "SweepExecutor",
     "run_sweep",
+    # execution backends and conformance
+    "ScenarioBackend",
+    "SimulationBackend",
+    "AsyncioBackend",
+    "get_backend",
+    "ConformanceReport",
+    "run_conformance",
 ]

@@ -20,7 +20,7 @@ emission going through Dolev's protocol instead of direct links.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.events import Command, SendTo

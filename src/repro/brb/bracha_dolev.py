@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
-from repro.core.events import Command, SendTo
+from repro.core.events import Command
 from repro.core.messages import BrachaMessage, DolevMessage, MessageType
 from repro.core.modifications import ModificationSet
 from repro.core.protocol import BroadcastProtocol

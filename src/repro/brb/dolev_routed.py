@@ -25,7 +25,7 @@ can be outvoted exactly as in the flooding variant (delivery requires
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 import networkx as nx
 

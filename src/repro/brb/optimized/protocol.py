@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import SystemConfig
-from repro.core.events import BRBDeliver, Command, SendTo
+from repro.core.events import Command, SendTo
 from repro.core.messages import CrossLayerMessage, MessageType
 from repro.core.modifications import ModificationSet
 from repro.core.protocol import BroadcastProtocol

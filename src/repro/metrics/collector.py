@@ -9,7 +9,7 @@ experiment runner and the benchmarks consume.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.core.messages import MessageType

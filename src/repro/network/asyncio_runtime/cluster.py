@@ -1,16 +1,31 @@
 """Convenience helper running a whole cluster of asyncio nodes in-process.
 
-Used by the integration tests and the ``asyncio_cluster.py`` example: it
-builds one protocol per process of a topology, wires the TCP connections
-on localhost and exposes a small broadcast-and-wait API.
+Used by the integration tests, the ``asyncio_cluster.py`` example and the
+scenario engine's :class:`~repro.scenarios.backends.AsyncioBackend`: it
+builds one protocol per process of a topology (or hosts prebuilt
+instances), wires the TCP connections on localhost and exposes a small
+broadcast-and-wait API.
+
+Startup is deterministic: every node binds an ephemeral port, the actual
+ports are exchanged through a port map, and :meth:`AsyncioCluster.start`
+returns only once the readiness barrier saw every node hold a channel to
+every declared neighbor — there is no fixed settle sleep, so slow CI
+machines simply take marginally longer instead of flaking.
+
+Scenario fault events translate into cluster-level runtime actions:
+:meth:`crash`/:meth:`schedule_crash`, :meth:`add_link_drop_window` and
+:meth:`delay_start`.  Timed actions are armed relative to the *epoch*
+(:meth:`open_epoch`), the instant the broadcast workload begins.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
 from repro.network.asyncio_runtime.node import AsyncioNode
 from repro.topology.generators import Topology
 
@@ -18,36 +33,165 @@ ProtocolBuilder = Callable[[int, SystemConfig, Iterable[int]], object]
 
 
 class AsyncioCluster:
-    """A set of :class:`AsyncioNode` instances over one topology."""
+    """A set of :class:`AsyncioNode` instances over one topology.
+
+    Parameters
+    ----------
+    builder:
+        Either a callable ``(pid, config, neighbors) -> protocol`` or a
+        ready-made mapping ``pid -> protocol`` (the scenario backend
+        builds adversary-wrapped instances up front).
+    port_base:
+        ``None`` (default) uses ephemeral ports exchanged via a port
+        map; an integer restores the legacy fixed ``port_base + pid``
+        layout.
+    collector:
+        Optional metrics collector shared by every node.
+    """
 
     def __init__(
         self,
         topology: Topology,
         config: SystemConfig,
-        builder: ProtocolBuilder,
+        builder: Union[ProtocolBuilder, Mapping[int, object]],
         *,
-        port_base: int = 9600,
+        port_base: Optional[int] = None,
         host: str = "127.0.0.1",
+        collector: Optional[MetricsCollector] = None,
     ) -> None:
         self.topology = topology
         self.config = config
+        self.collector = collector
         self.nodes: Dict[int, AsyncioNode] = {}
         for pid in topology.nodes:
-            protocol = builder(pid, config, sorted(topology.neighbors(pid)))
-            self.nodes[pid] = AsyncioNode(protocol, host=host, port_base=port_base)
+            if isinstance(builder, Mapping):
+                protocol = builder[pid]
+            else:
+                protocol = builder(pid, config, sorted(topology.neighbors(pid)))
+            self.nodes[pid] = AsyncioNode(
+                protocol, host=host, port_base=port_base, collector=collector
+            )
+        self.epoch: Optional[float] = None
+        # (delay_s, thunk) actions armed when the epoch opens.
+        self._pending_actions: List[Tuple[float, Callable[[], None]]] = []
+        self._timers: List[asyncio.TimerHandle] = []
+        self._action_tasks: List[asyncio.Task] = []
 
-    async def start(self) -> None:
-        """Start every node and establish all neighbor connections."""
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, *, connect_timeout: float = 10.0) -> None:
+        """Start every node and establish all neighbor connections.
+
+        Returns once the readiness barrier passed: every node holds a
+        channel to each of its declared neighbors (dialed or accepted),
+        after which each live node runs its ``on_start`` hook.
+        """
         for node in self.nodes.values():
             await node.start()
-        await asyncio.gather(*(node.connect_neighbors() for node in self.nodes.values()))
-        # Give inbound registrations a moment to settle.
-        await asyncio.sleep(0.05)
+        port_map = {pid: node.port for pid, node in self.nodes.items()}
+        await asyncio.gather(
+            *(node.connect_neighbors(port_map) for node in self.nodes.values())
+        )
+        await asyncio.gather(
+            *(
+                node.wait_until_connected(
+                    set(self.topology.neighbors(pid)), timeout=connect_timeout
+                )
+                for pid, node in self.nodes.items()
+            )
+        )
+        for node in self.nodes.values():
+            await node.run_on_start()
 
     async def stop(self) -> None:
-        """Shut every node down."""
+        """Cancel armed timers and shut every node down."""
+        for timer in self._timers:
+            timer.cancel()
+        self._timers.clear()
+        for task in self._action_tasks:
+            task.cancel()
+        self._action_tasks.clear()
         await asyncio.gather(*(node.stop() for node in self.nodes.values()))
 
+    # ------------------------------------------------------------------
+    # Runtime actions (scenario fault events)
+    # ------------------------------------------------------------------
+    def crash(self, pid: int) -> None:
+        """Crash ``pid`` immediately (fail-silent from now on)."""
+        self._node(pid).crash()
+
+    def schedule_crash(self, pid: int, at_s: float) -> None:
+        """Crash ``pid`` at ``at_s`` seconds after the epoch opens.
+
+        ``at_s <= 0`` crashes right away — before the workload starts —
+        matching the simulator's crash-at-time-0 semantics.
+        """
+        node = self._node(pid)
+        if at_s <= 0:
+            node.crash()
+        else:
+            self._pending_actions.append((at_s, node.crash))
+
+    def add_link_drop_window(
+        self, u: int, v: int, start_s: float, end_s: Optional[float] = None
+    ) -> None:
+        """Drop every message on the ``{u, v}`` link during the window.
+
+        Installed symmetrically as outgoing drop filters on both
+        endpoints; times are seconds relative to the epoch.
+        """
+        if not self.topology.has_edge(u, v):
+            raise ConfigurationError(f"no link between {u} and {v} to drop")
+        if end_s is not None and end_s < start_s:
+            raise ConfigurationError(
+                f"link-drop window ends before it starts ({start_s}, {end_s})"
+            )
+        self._node(u).add_drop_window(v, start_s, end_s)
+        self._node(v).add_drop_window(u, start_s, end_s)
+
+    def delay_start(self, pid: int, wake_s: float) -> None:
+        """Keep ``pid`` dormant until ``wake_s`` seconds after the epoch."""
+        node = self._node(pid)
+        node.delay_start()
+        self._pending_actions.append(
+            (wake_s, lambda: self._spawn(node.wake()))
+        )
+
+    def open_epoch(self) -> None:
+        """Anchor the time base and arm the pending timed actions.
+
+        Call right before initiating the workload; immediate actions
+        (``delay <= 0``) fire synchronously so a crash at time 0 is
+        already effective when the first broadcast happens.
+        """
+        loop = asyncio.get_running_loop()
+        self.epoch = loop.time()
+        for node in self.nodes.values():
+            node.set_epoch(self.epoch)
+        for delay_s, thunk in self._pending_actions:
+            if delay_s <= 0:
+                thunk()
+            else:
+                self._timers.append(loop.call_later(delay_s, thunk))
+        self._pending_actions.clear()
+
+    def _spawn(self, coroutine) -> None:
+        self._action_tasks.append(asyncio.ensure_future(coroutine))
+
+    def _node(self, pid: int) -> AsyncioNode:
+        if pid not in self.nodes:
+            raise ConfigurationError(f"unknown process {pid}")
+        return self.nodes[pid]
+
+    @property
+    def dropped_messages(self) -> int:
+        """Messages lost to link-drop windows across all nodes."""
+        return sum(node.dropped_messages for node in self.nodes.values())
+
+    # ------------------------------------------------------------------
+    # Workload API
+    # ------------------------------------------------------------------
     async def broadcast(self, source: int, payload: bytes, bid: int = 0) -> None:
         """Broadcast ``payload`` from ``source``."""
         await self.nodes[source].broadcast(payload, bid)

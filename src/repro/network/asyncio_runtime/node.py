@@ -6,17 +6,38 @@ duplicate connections).  The first frame on every connection is a HELLO
 carrying the dialing node's identifier; afterwards every frame is an
 encoded protocol message.  Connections are only accepted from declared
 neighbors, mirroring the authenticated-channel assumption.
+
+Ports are ephemeral by default: a node binds port 0, learns the port the
+kernel assigned and publishes it through the cluster's port map, so
+concurrent clusters (pytest-xdist workers, parallel CI jobs) never race
+for a fixed port range.  Passing ``port_base`` restores the legacy fixed
+``port_base + process_id`` layout.
+
+Beyond plain hosting, a node understands the runtime actions the
+:class:`~repro.scenarios.backends.AsyncioBackend` translates scenario
+fault events into:
+
+* :meth:`crash` — the process goes fail-silent: it stops sending and
+  ignores every future message (sockets stay open; TCP liveness is not
+  process correctness);
+* :meth:`delay_start` / :meth:`wake` — a dormant process buffers inbound
+  messages and replays them in arrival order when it wakes, matching the
+  simulator's delayed-start semantics;
+* :meth:`add_drop_window` — outgoing messages to one peer are dropped
+  while the wall clock (relative to the cluster epoch) falls inside a
+  window, matching the simulator's link-drop windows.
 """
 
 from __future__ import annotations
 
 import asyncio
 import struct
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.encoding import decode_message, encode_message
 from repro.core.errors import RuntimeAbort
 from repro.core.events import BRBDeliver, Command, RCDeliver, SendTo
+from repro.metrics.collector import MetricsCollector
 
 _LENGTH = struct.Struct(">I")
 _HELLO = struct.Struct(">I")
@@ -31,18 +52,48 @@ class AsyncioNode:
         Any object implementing the protocol interface (``broadcast`` /
         ``on_message`` returning command lists).
     port_base:
-        Node ``i`` listens on ``port_base + i`` on localhost.
+        ``None`` (the default) binds an ephemeral port; the actual port
+        is available as :attr:`port` once :meth:`start` returned and is
+        exchanged through a port map.  When set, node ``i`` listens on
+        ``port_base + i`` (legacy fixed layout).
+    collector:
+        Optional :class:`MetricsCollector` shared by the cluster; sends
+        and deliveries are recorded with wall-clock milliseconds relative
+        to the cluster epoch (see :meth:`set_epoch`).
     """
 
-    def __init__(self, protocol, *, host: str = "127.0.0.1", port_base: int = 9600) -> None:
+    def __init__(
+        self,
+        protocol,
+        *,
+        host: str = "127.0.0.1",
+        port_base: Optional[int] = None,
+        collector: Optional[MetricsCollector] = None,
+    ) -> None:
         self.protocol = protocol
         self.process_id = protocol.process_id
         self.host = host
         self.port_base = port_base
+        self.collector = collector
+        self._port: Optional[int] = None
         self._writers: Dict[int, asyncio.StreamWriter] = {}
         self._server: Optional[asyncio.AbstractServer] = None
         self._reader_tasks: List[asyncio.Task] = []
         self._lock = asyncio.Lock()
+        # Pulsed on every neighbor registration; wait_until_connected
+        # re-checks the writer set after each pulse (readiness barrier).
+        self._registered = asyncio.Event()
+        self._epoch: Optional[float] = None
+        # Runtime-action state (see the module docstring).
+        self._crashed = False
+        self._dormant = False
+        self._dormant_buffer: List[Tuple[int, object]] = []
+        self._pending_broadcasts: List[Tuple[bytes, int]] = []
+        # peer -> [(start_s, end_s)] drop windows, relative to the epoch;
+        # end_s is None for a window that never closes.
+        self._drop_windows: Dict[int, List[Tuple[float, Optional[float]]]] = {}
+        #: Outgoing messages lost to drop windows.
+        self.dropped_messages = 0
         #: BRB deliveries observed by this node, as (source, bid, payload).
         self.deliveries: List[BRBDeliver] = []
         self.delivery_event = asyncio.Event()
@@ -52,28 +103,53 @@ class AsyncioNode:
     # ------------------------------------------------------------------
     @property
     def port(self) -> int:
-        return self.port_base + self.process_id
+        """The port this node listens on.
+
+        For ephemeral allocation the value only exists after
+        :meth:`start` bound the socket.
+        """
+        if self._port is not None:
+            return self._port
+        if self.port_base is not None:
+            return self.port_base + self.process_id
+        raise RuntimeAbort(
+            f"node {self.process_id} uses ephemeral ports and has not started yet"
+        )
 
     async def start(self) -> None:
         """Start listening for inbound neighbor connections."""
+        requested = 0 if self.port_base is None else self.port_base + self.process_id
         self._server = await asyncio.start_server(
-            self._on_inbound, host=self.host, port=self.port
+            self._on_inbound, host=self.host, port=requested
         )
+        self._port = self._server.sockets[0].getsockname()[1]
 
-    async def connect_neighbors(self) -> None:
-        """Dial every neighbor with a larger identifier."""
+    async def connect_neighbors(self, port_map: Optional[Mapping[int, int]] = None) -> None:
+        """Dial every neighbor with a larger identifier.
+
+        ``port_map`` maps process id → actual listening port (required
+        for ephemeral allocation; the cluster builds it after every node
+        started).  Without a map the legacy ``port_base + id`` layout is
+        assumed.
+        """
         for neighbor in self.protocol.neighbors:
             if neighbor <= self.process_id:
                 continue
-            await self._dial(neighbor)
+            if port_map is not None:
+                port = port_map[neighbor]
+            elif self.port_base is not None:
+                port = self.port_base + neighbor
+            else:
+                raise RuntimeAbort(
+                    "ephemeral ports need a port map to dial neighbors"
+                )
+            await self._dial(neighbor, port)
 
-    async def _dial(self, neighbor: int, *, attempts: int = 40) -> None:
+    async def _dial(self, neighbor: int, port: int, *, attempts: int = 40) -> None:
         last_error: Optional[Exception] = None
         for _ in range(attempts):
             try:
-                reader, writer = await asyncio.open_connection(
-                    self.host, self.port_base + neighbor
-                )
+                reader, writer = await asyncio.open_connection(self.host, port)
                 writer.write(_HELLO.pack(self.process_id))
                 await writer.drain()
                 self._register(neighbor, reader, writer)
@@ -104,6 +180,34 @@ class AsyncioNode:
         self._writers[peer_id] = writer
         task = asyncio.ensure_future(self._read_loop(peer_id, reader))
         self._reader_tasks.append(task)
+        self._registered.set()
+
+    async def wait_until_connected(
+        self, expected: Set[int], timeout: float = 10.0
+    ) -> None:
+        """Block until a channel to every process in ``expected`` exists.
+
+        This is the per-node half of the cluster readiness barrier: both
+        dialed and accepted connections count, so once it returns the
+        node can reach — and be reached by — every declared neighbor.
+        Raises :class:`RuntimeAbort` on timeout.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while not set(expected) <= set(self._writers):
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                missing = sorted(set(expected) - set(self._writers))
+                raise RuntimeAbort(
+                    f"node {self.process_id} timed out waiting for "
+                    f"connections from {missing}"
+                )
+            self._registered.clear()
+            try:
+                await asyncio.wait_for(self._registered.wait(), timeout=remaining)
+            except asyncio.TimeoutError:
+                continue  # re-check and fail with the missing set above
+        return
 
     async def stop(self) -> None:
         """Close the server, the connections and the reader tasks."""
@@ -117,12 +221,127 @@ class AsyncioNode:
         self._writers.clear()
 
     # ------------------------------------------------------------------
+    # Runtime actions (scenario fault events)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def dormant(self) -> bool:
+        return self._dormant
+
+    def set_epoch(self, epoch: float) -> None:
+        """Anchor drop windows and metric timestamps at loop time ``epoch``."""
+        self._epoch = epoch
+
+    def _elapsed_s(self) -> float:
+        if self._epoch is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self._epoch
+
+    def crash(self) -> None:
+        """Go fail-silent: never send again, ignore every future message."""
+        self._crashed = True
+        self._dormant_buffer.clear()
+        self._pending_broadcasts.clear()
+
+    def delay_start(self) -> None:
+        """Become dormant: buffer inbound messages until :meth:`wake`."""
+        self._dormant = True
+
+    def add_drop_window(
+        self, peer: int, start_s: float, end_s: Optional[float] = None
+    ) -> None:
+        """Drop outgoing messages to ``peer`` while inside the window.
+
+        Times are seconds relative to the cluster epoch; ``end_s=None``
+        models a link that goes down and never reopens.  The dropped
+        message's bytes are still recorded as sent, mirroring the
+        simulator's accounting of a transmission that leaves the NIC but
+        never arrives.
+        """
+        self._drop_windows.setdefault(peer, []).append((start_s, end_s))
+
+    def link_dropped(self, peer: int, elapsed_s: Optional[float] = None) -> bool:
+        """Whether a message to ``peer`` at ``elapsed_s`` would be dropped."""
+        windows = self._drop_windows.get(peer)
+        if not windows:
+            return False
+        if elapsed_s is None:
+            elapsed_s = self._elapsed_s()
+        return any(
+            start <= elapsed_s and (end is None or elapsed_s < end)
+            for start, end in windows
+        )
+
+    async def wake(self) -> None:
+        """Wake a dormant process: run ``on_start`` and replay the buffer.
+
+        The node stays dormant while the buffer is replayed, so messages
+        arriving concurrently keep queueing behind the buffered prefix —
+        replay is in strict arrival order, matching the simulator's
+        atomic wake-up.
+        """
+        if self._crashed or not self._dormant:
+            return
+        hook = getattr(self.protocol, "on_start", None)
+        if hook is not None:
+            async with self._lock:
+                commands = hook()
+            await self._execute(commands)
+        while self._dormant_buffer:
+            if self._crashed:
+                return
+            sender, message = self._dormant_buffer.pop(0)
+            async with self._lock:
+                commands = self.protocol.on_message(sender, message)
+            await self._execute(commands)
+        self._dormant = False
+        pending, self._pending_broadcasts = self._pending_broadcasts, []
+        for payload, bid in pending:
+            if self._crashed:
+                return
+            await self.broadcast(payload, bid)
+
+    # ------------------------------------------------------------------
     # Protocol driving
     # ------------------------------------------------------------------
+    async def run_on_start(self) -> None:
+        """Run the protocol's ``on_start`` hook (once connections exist)."""
+        if self._crashed or self._dormant:
+            return
+        hook = getattr(self.protocol, "on_start", None)
+        if hook is None:
+            return
+        async with self._lock:
+            commands = hook()
+        await self._execute(commands)
+
     async def broadcast(self, payload: bytes, bid: int = 0) -> None:
-        """Initiate a broadcast from this node."""
+        """Initiate a broadcast from this node.
+
+        A crashed node does nothing; a dormant node broadcasts right
+        after it wakes (the simulator's delayed-start semantics).
+        """
+        if self._crashed:
+            return
+        if self._dormant:
+            self._pending_broadcasts.append((payload, bid))
+            return
         async with self._lock:
             commands = self.protocol.broadcast(payload, bid)
+        await self._execute(commands)
+
+    async def handle_message(self, peer_id: int, message) -> None:
+        """Feed one decoded protocol message into the hosted instance."""
+        if self._crashed:
+            return
+        if self._dormant:
+            self._dormant_buffer.append((peer_id, message))
+            return
+        async with self._lock:
+            commands = self.protocol.on_message(peer_id, message)
         await self._execute(commands)
 
     async def _read_loop(self, peer_id: int, reader: asyncio.StreamReader) -> None:
@@ -132,21 +351,20 @@ class AsyncioNode:
                 (length,) = _LENGTH.unpack(header)
                 frame = await reader.readexactly(length)
                 message = decode_message(frame)
-                async with self._lock:
-                    commands = self.protocol.on_message(peer_id, message)
-                await self._execute(commands)
+                await self.handle_message(peer_id, message)
         except (asyncio.IncompleteReadError, asyncio.CancelledError, ConnectionError):
             return
 
     async def _execute(self, commands: Iterable[Command]) -> None:
         for command in commands:
+            if self._crashed:
+                return
             if isinstance(command, SendTo):
                 await self._send(command.dest, command.message)
             elif isinstance(command, BRBDeliver):
-                self.deliveries.append(command)
-                self.delivery_event.set()
+                self._record_delivery(command)
             elif isinstance(command, RCDeliver):
-                self.deliveries.append(
+                self._record_delivery(
                     BRBDeliver(
                         source=command.source if command.source is not None else -1,
                         bid=0,
@@ -155,9 +373,29 @@ class AsyncioNode:
                         else b"",
                     )
                 )
-                self.delivery_event.set()
+
+    def _record_delivery(self, delivery: BRBDeliver) -> None:
+        self.deliveries.append(delivery)
+        if self.collector is not None:
+            self.collector.record_delivery(
+                self._elapsed_s() * 1000.0,
+                self.process_id,
+                delivery.source,
+                delivery.bid,
+                delivery.payload,
+            )
+        self.delivery_event.set()
 
     async def _send(self, dest: int, message) -> None:
+        if self._crashed:
+            return
+        if self.collector is not None:
+            self.collector.record_send(
+                self._elapsed_s() * 1000.0, self.process_id, dest, message
+            )
+        if self.link_dropped(dest):
+            self.dropped_messages += 1
+            return
         writer = self._writers.get(dest)
         if writer is None:
             return

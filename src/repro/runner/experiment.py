@@ -10,7 +10,7 @@ the total number of bytes put on the links.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError

@@ -3,18 +3,28 @@
 Runs a sequence of :class:`~repro.scenarios.spec.ScenarioSpec` cells
 through :func:`~repro.scenarios.engine.run_scenario`, either inline
 (``workers <= 1``) or fanned out over a :mod:`multiprocessing` pool.
+Each cell declares its execution backend (``spec.backend``): simulation
+cells run on the discrete-event simulator, asyncio cells materialize an
+:class:`~repro.network.asyncio_runtime.AsyncioCluster` on real localhost
+sockets — worker processes host their own event loop, and the ephemeral
+port allocation keeps concurrently running cells from colliding.
 
 Guarantees:
 
-* **Seed stability** — a cell's result only depends on the cell itself
-  (every random choice derives from ``spec.seed``), so the parallel path
-  returns results equal to the serial path for the same cells, whatever
-  the worker count or scheduling order.
+* **Seed stability** — a *simulation* cell's result only depends on the
+  cell itself (every random choice derives from ``spec.seed``), so the
+  parallel path returns results equal to the serial path for the same
+  cells, whatever the worker count or scheduling order.  Asyncio cells
+  share the deterministic expansion (topology, placement, wiring) but
+  carry wall-clock timings; only their delivery/safety verdicts are
+  stable (see :mod:`repro.scenarios.conformance`).
 * **Order preservation** — results come back in cell order.
 * **Caching** — with a ``cache_dir``, each result is persisted under its
-  scenario hash; re-running a sweep only executes the cells not yet
-  cached (the cached result's spec is verified against the requesting
-  cell before being trusted, so hash collisions degrade to a re-run).
+  scenario hash, which includes the backend, so the same scenario run on
+  two backends occupies two cache slots; re-running a sweep only
+  executes the cells not yet cached (the cached result's spec is
+  verified against the requesting cell before being trusted, so hash
+  collisions degrade to a re-run).
 """
 
 from __future__ import annotations
@@ -29,7 +39,8 @@ from repro.scenarios.engine import ScenarioResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 #: Bump when the pickled result layout changes to invalidate stale caches.
-_CACHE_VERSION = 1
+#: v2: ScenarioSpec grew the ``backend`` field.
+_CACHE_VERSION = 2
 
 
 def _execute_cell(spec: ScenarioSpec) -> ScenarioResult:

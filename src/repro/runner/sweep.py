@@ -10,7 +10,7 @@ and reports the relative variations the paper's tables plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.modifications import ModificationSet
 from repro.metrics.report import relative_variation_percent

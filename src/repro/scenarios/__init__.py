@@ -11,25 +11,50 @@ composable scenario engine:
   link-drop windows, delayed-start nodes);
 * :mod:`repro.scenarios.grid` — cartesian expansion of a base spec into
   sweep cells;
-* :mod:`repro.scenarios.engine` — the deterministic runner producing a
-  :class:`~repro.scenarios.engine.ScenarioResult` per cell.
+* :mod:`repro.scenarios.engine` — the runner producing a
+  :class:`~repro.scenarios.engine.ScenarioResult` per cell;
+* :mod:`repro.scenarios.backends` — pluggable execution backends: the
+  deterministic discrete-event simulator and the asyncio TCP runtime
+  (real sockets on localhost), selected per cell via ``spec.backend``;
+* :mod:`repro.scenarios.conformance` — cross-backend agreement on the
+  delivery/safety verdicts of one spec.
 
 Scenario cells are plain picklable data, which is what lets
 :class:`repro.runner.parallel.SweepExecutor` fan them out over a process
 pool while guaranteeing results identical to a serial run.
 """
 
+from repro.scenarios.backends import (
+    BACKENDS,
+    AsyncioBackend,
+    ScenarioBackend,
+    SimulationBackend,
+    get_backend,
+)
+from repro.scenarios.conformance import (
+    BackendVerdict,
+    ConformanceReport,
+    run_conformance,
+    verdict_of,
+)
 from repro.scenarios.engine import (
     ScenarioResult,
     build_network,
     build_protocols,
     place_byzantine,
     run_scenario,
+    simulate_scenario,
 )
 from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
 from repro.scenarios.grid import expand_grid, seed_cells
 from repro.scenarios.placement import PLACEMENT_STRATEGIES, place_adversaries
-from repro.scenarios.spec import AdversarySpec, DelaySpec, ScenarioSpec, TopologySpec
+from repro.scenarios.spec import (
+    BACKEND_NAMES,
+    AdversarySpec,
+    DelaySpec,
+    ScenarioSpec,
+    TopologySpec,
+)
 
 __all__ = [
     # specs
@@ -37,6 +62,7 @@ __all__ = [
     "TopologySpec",
     "DelaySpec",
     "AdversarySpec",
+    "BACKEND_NAMES",
     # faults
     "CrashAt",
     "LinkDropWindow",
@@ -51,7 +77,19 @@ __all__ = [
     # engine
     "ScenarioResult",
     "run_scenario",
+    "simulate_scenario",
     "build_network",
     "build_protocols",
     "place_byzantine",
+    # backends
+    "ScenarioBackend",
+    "SimulationBackend",
+    "AsyncioBackend",
+    "BACKENDS",
+    "get_backend",
+    # conformance
+    "BackendVerdict",
+    "ConformanceReport",
+    "verdict_of",
+    "run_conformance",
 ]

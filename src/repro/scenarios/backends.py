@@ -1,0 +1,296 @@
+"""Pluggable execution backends for the scenario engine.
+
+A :class:`ScenarioBackend` turns one declarative
+:class:`~repro.scenarios.spec.ScenarioSpec` into a
+:class:`~repro.scenarios.engine.ScenarioResult`.  Two implementations
+ship:
+
+* :class:`SimulationBackend` — the discrete-event simulator, fully
+  deterministic (bit-identical results per seed);
+* :class:`AsyncioBackend` — the same protocol objects over real TCP
+  sockets on localhost (:mod:`repro.network.asyncio_runtime`).  The
+  deterministic parts of the expansion — topology generation, adversary
+  placement, protocol wiring — are byte-for-byte the ones the simulator
+  uses; the spec's fault events are re-expressed as runtime actions:
+
+  ========================  =====================================
+  fault event               runtime action
+  ========================  =====================================
+  ``CrashAt(pid, t)``       node goes fail-silent at wall-clock
+                            ``t`` (``t<=0``: before the workload)
+  ``LinkDropWindow(u,v,…)`` connection-level drop filters on both
+                            endpoints of the link
+  ``DelayedStart(pid, t)``  node buffers inbound traffic and joins
+                            at wall-clock ``t``
+  ========================  =====================================
+
+  Simulated milliseconds map to wall-clock seconds through
+  ``time_scale`` (default: 1 simulated ms = 1 real ms).  Timings in the
+  result are wall-clock and therefore not reproducible; the
+  delivery/safety verdicts are, and
+  :mod:`repro.scenarios.conformance` asserts they match the simulation.
+
+Grid cells declare their backend via ``spec.backend`` (also a grid axis:
+``expand_grid(base, {"backend": ["simulation", "asyncio"]})``), and the
+scenario hash — the sweep executor's cache key — includes it, so results
+from different backends never shadow each other in the cache.
+"""
+
+from __future__ import annotations
+
+import abc
+import asyncio
+from dataclasses import dataclass
+from typing import ClassVar, Dict, List, Optional, Tuple, Union
+
+from repro.core.errors import ConfigurationError
+from repro.metrics.collector import MetricsCollector
+from repro.network.asyncio_runtime.cluster import AsyncioCluster
+from repro.scenarios.engine import (
+    ScenarioResult,
+    build_protocols,
+    freeze_result,
+    place_byzantine,
+    simulate_scenario,
+    validate_topology,
+)
+from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
+from repro.scenarios.spec import BACKEND_NAMES, ScenarioSpec
+
+
+class ScenarioBackend(abc.ABC):
+    """Executes one :class:`ScenarioSpec` and freezes its result."""
+
+    #: Registry key; must match the spec's ``backend`` field values.
+    name: ClassVar[str]
+
+    @abc.abstractmethod
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Run ``spec`` end to end."""
+
+    def validate(self, spec: ScenarioSpec) -> None:
+        """Reject spec features this backend cannot express (no-op here)."""
+
+
+class SimulationBackend(ScenarioBackend):
+    """The discrete-event simulator (default, fully deterministic)."""
+
+    name = "simulation"
+
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        return simulate_scenario(spec)
+
+
+# ----------------------------------------------------------------------
+# Fault-event → runtime-action translation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NodeCrash:
+    """Crash ``pid`` at ``at_s`` wall-clock seconds after the epoch."""
+
+    pid: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class LinkDropFilter:
+    """Drop traffic on ``{u, v}`` during ``[start_s, end_s)`` (epoch-relative)."""
+
+    u: int
+    v: int
+    start_s: float
+    end_s: Optional[float]
+
+
+@dataclass(frozen=True)
+class DeferredStart:
+    """Keep ``pid`` dormant until ``wake_s`` seconds after the epoch."""
+
+    pid: int
+    wake_s: float
+
+
+RuntimeAction = Union[NodeCrash, LinkDropFilter, DeferredStart]
+
+
+class AsyncioBackend(ScenarioBackend):
+    """Runs a scenario on the asyncio TCP runtime (localhost sockets).
+
+    Parameters
+    ----------
+    time_scale:
+        Wall-clock seconds per simulated millisecond of the spec's fault
+        timestamps; the default ``1e-3`` keeps 1 simulated ms = 1 real
+        ms.
+    delivery_timeout_s:
+        How long to wait for every correct process to deliver before
+        freezing a partial outcome (the verdicts then report the missing
+        deliveries instead of hanging).
+    connect_timeout_s:
+        Readiness-barrier budget for cluster startup.
+    """
+
+    name = "asyncio"
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        time_scale: float = 1e-3,
+        delivery_timeout_s: float = 20.0,
+        connect_timeout_s: float = 10.0,
+    ) -> None:
+        if time_scale <= 0:
+            raise ConfigurationError("time_scale must be positive")
+        self.host = host
+        self.time_scale = time_scale
+        self.delivery_timeout_s = delivery_timeout_s
+        self.connect_timeout_s = connect_timeout_s
+
+    # -- translation ---------------------------------------------------
+    def validate(self, spec: ScenarioSpec) -> None:
+        if spec.shared_bandwidth_bps is not None:
+            raise ConfigurationError(
+                "the asyncio backend runs over real sockets and cannot "
+                "emulate a shared bandwidth cap; use the simulation backend"
+            )
+
+    def _scale(self, time_ms: float) -> float:
+        return time_ms * self.time_scale
+
+    def plan_faults(self, faults: Tuple[FaultEvent, ...]) -> List[RuntimeAction]:
+        """Translate the spec's fault events into runtime actions.
+
+        Pure and deterministic — unit-testable without opening sockets.
+        """
+        actions: List[RuntimeAction] = []
+        for fault in faults:
+            if isinstance(fault, CrashAt):
+                actions.append(NodeCrash(pid=fault.pid, at_s=self._scale(fault.time_ms)))
+            elif isinstance(fault, LinkDropWindow):
+                actions.append(
+                    LinkDropFilter(
+                        u=fault.u,
+                        v=fault.v,
+                        start_s=self._scale(fault.start_ms),
+                        end_s=None if fault.end_ms is None else self._scale(fault.end_ms),
+                    )
+                )
+            elif isinstance(fault, DelayedStart):
+                if fault.time_ms < 0:
+                    # Mirror SimulatedNetwork.delay_start: the same spec
+                    # must error identically on every backend.
+                    raise ConfigurationError(
+                        f"start time must be non-negative, got {fault.time_ms}"
+                    )
+                actions.append(
+                    DeferredStart(pid=fault.pid, wake_s=self._scale(fault.time_ms))
+                )
+            else:  # pragma: no cover - defensive
+                raise ConfigurationError(
+                    f"the asyncio backend does not support fault {fault!r}"
+                )
+        return actions
+
+    @staticmethod
+    def arm(cluster: AsyncioCluster, actions: List[RuntimeAction]) -> None:
+        """Install runtime actions on a built (not yet started) cluster.
+
+        Immediate crashes and dormancy are effective right away; timed
+        actions are armed when the cluster's epoch opens.
+        """
+        for action in actions:
+            if isinstance(action, NodeCrash):
+                cluster.schedule_crash(action.pid, action.at_s)
+            elif isinstance(action, LinkDropFilter):
+                cluster.add_link_drop_window(
+                    action.u, action.v, action.start_s, action.end_s
+                )
+            elif isinstance(action, DeferredStart):
+                cluster.delay_start(action.pid, action.wake_s)
+
+    # -- execution -----------------------------------------------------
+    def run(self, spec: ScenarioSpec) -> ScenarioResult:
+        self.validate(spec)
+        return asyncio.run(self.run_async(spec))
+
+    async def run_async(self, spec: ScenarioSpec) -> ScenarioResult:
+        """Materialize the spec into an :class:`AsyncioCluster` and run it."""
+        topology = spec.topology.build(spec.seed)
+        validate_topology(spec, topology)
+        byzantine = place_byzantine(spec, topology)
+        protocols = build_protocols(spec, topology, byzantine)
+        collector = MetricsCollector()
+        cluster = AsyncioCluster(
+            topology,
+            spec.system(),
+            protocols,
+            host=self.host,
+            collector=collector,
+        )
+        self.arm(cluster, self.plan_faults(spec.faults))
+
+        payload = spec.payload()
+        crashed = {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
+        correct = [
+            pid
+            for pid in topology.nodes
+            if pid not in byzantine and pid not in crashed
+        ]
+        try:
+            await cluster.start(connect_timeout=self.connect_timeout_s)
+            cluster.open_epoch()
+            await cluster.broadcast(spec.source, payload, spec.bid)
+            # Wait for the verdict-relevant deliveries; a scenario whose
+            # faults prevent totality times out here and freezes the
+            # partial outcome instead of hanging.
+            await cluster.wait_for_all_deliveries(
+                count=1, timeout=self.delivery_timeout_s, processes=correct
+            )
+            if cluster.epoch is not None:
+                loop = asyncio.get_running_loop()
+                collector.record_time((loop.time() - cluster.epoch) * 1000.0)
+            dropped = cluster.dropped_messages
+        finally:
+            await cluster.stop()
+
+        return freeze_result(
+            spec,
+            topology=topology,
+            byzantine={pid: adv.behaviour for pid, adv in byzantine.items()},
+            metrics=collector.snapshot(),
+            dropped_messages=dropped,
+            payload=payload,
+        )
+
+
+#: Registered backends, keyed by the spec's ``backend`` field values.
+BACKENDS: Dict[str, type] = {
+    SimulationBackend.name: SimulationBackend,
+    AsyncioBackend.name: AsyncioBackend,
+}
+
+assert tuple(BACKENDS) == BACKEND_NAMES, "spec.BACKEND_NAMES out of sync"
+
+
+def get_backend(name: str) -> ScenarioBackend:
+    """A default-configured backend instance for ``name``."""
+    try:
+        return BACKENDS[name]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {name!r}; expected one of {tuple(BACKENDS)}"
+        ) from None
+
+
+__all__ = [
+    "ScenarioBackend",
+    "SimulationBackend",
+    "AsyncioBackend",
+    "NodeCrash",
+    "LinkDropFilter",
+    "DeferredStart",
+    "RuntimeAction",
+    "BACKENDS",
+    "get_backend",
+]

@@ -1,0 +1,130 @@
+"""Cross-backend conformance: do two backends agree on one scenario?
+
+The simulation backend is deterministic down to the timestamp; the
+asyncio backend runs over real sockets and its timings are wall-clock.
+What *must* agree between them — and what CI asserts — are the
+delivery/safety verdicts: which processes are correct, which delivered,
+what they delivered, and whether the BRB predicates (totality,
+agreement, validity) hold.  :class:`BackendVerdict` captures exactly
+that timing-free projection of a
+:class:`~repro.scenarios.engine.ScenarioResult`, and
+:func:`run_conformance` runs one spec on several backends and compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, List, Sequence, Tuple
+
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class BackendVerdict:
+    """Timing-free delivery/safety projection of one scenario result."""
+
+    correct_processes: Tuple[int, ...]
+    crashed: Tuple[int, ...]
+    byzantine: Tuple[Tuple[int, str], ...]
+    #: Correct processes that delivered the broadcast, sorted.
+    delivered_correct: Tuple[int, ...]
+    #: (pid, payload_hex) for every correct process that delivered.
+    payloads: Tuple[Tuple[int, str], ...]
+    all_correct_delivered: bool
+    agreement_holds: bool
+    validity_holds: bool
+
+
+def verdict_of(result: ScenarioResult) -> BackendVerdict:
+    """Project a result onto the backend-comparable verdict fields."""
+    correct = set(result.correct_processes)
+    payloads = tuple(
+        sorted(
+            (pid, payload)
+            for _, pid, _, _, payload in result.delivery_trace
+            if pid in correct
+        )
+    )
+    return BackendVerdict(
+        correct_processes=tuple(sorted(result.correct_processes)),
+        crashed=result.crashed,
+        byzantine=result.byzantine,
+        delivered_correct=tuple(
+            sorted(pid for pid in result.delivered_processes if pid in correct)
+        ),
+        payloads=payloads,
+        all_correct_delivered=result.all_correct_delivered,
+        agreement_holds=result.agreement_holds,
+        validity_holds=result.validity_holds,
+    )
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Verdicts of one spec across backends, plus the disagreement list."""
+
+    spec_name: str
+    scenario_hashes: Tuple[Tuple[str, str], ...]
+    verdicts: Tuple[Tuple[str, BackendVerdict], ...]
+    #: Per-backend latency until all correct processes delivered (None if
+    #: some did not).  Informational only — simulated vs wall-clock
+    #: milliseconds — and deliberately not part of the agreement check.
+    latencies_ms: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def agree(self) -> bool:
+        """Whether every backend produced the same verdict."""
+        return not self.mismatches()
+
+    def mismatches(self) -> List[str]:
+        """Human-readable field-level disagreements against the first backend."""
+        if len(self.verdicts) < 2:
+            return []
+        reference_name, reference = self.verdicts[0]
+        problems: List[str] = []
+        for name, verdict in self.verdicts[1:]:
+            for field_ in fields(BackendVerdict):
+                expected = getattr(reference, field_.name)
+                observed = getattr(verdict, field_.name)
+                if expected != observed:
+                    problems.append(
+                        f"{field_.name}: {reference_name}={expected!r} "
+                        f"vs {name}={observed!r}"
+                    )
+        return problems
+
+
+def run_conformance(
+    spec: ScenarioSpec,
+    backends: Sequence[str] = ("simulation", "asyncio"),
+    *,
+    overrides: Dict[str, object] = None,
+) -> ConformanceReport:
+    """Run one spec on every listed backend and compare the verdicts.
+
+    ``overrides`` optionally maps a backend name to a configured
+    :class:`~repro.scenarios.backends.ScenarioBackend` instance (e.g. an
+    ``AsyncioBackend`` with a shorter delivery timeout for CI).
+    """
+    overrides = overrides or {}
+    results: List[Tuple[str, ScenarioResult]] = []
+    for name in backends:
+        result = run_scenario(spec.with_backend(name), backend=overrides.get(name))
+        results.append((name, result))
+    return ConformanceReport(
+        spec_name=spec.name,
+        scenario_hashes=tuple(
+            (name, result.scenario_hash) for name, result in results
+        ),
+        verdicts=tuple((name, verdict_of(result)) for name, result in results),
+        latencies_ms=tuple((name, result.latency_ms) for name, result in results),
+    )
+
+
+__all__ = [
+    "BackendVerdict",
+    "ConformanceReport",
+    "verdict_of",
+    "run_conformance",
+]

@@ -1,16 +1,23 @@
 """Scenario engine: build and run one :class:`ScenarioSpec`.
 
 :func:`run_scenario` is the single entry point the serial and parallel
-sweep executors share: it deterministically expands a spec into a
-topology, a set of protocol instances (with Byzantine behaviours placed
-by the spec's strategies), a :class:`SimulatedNetwork` with the spec's
-fault events armed, runs one broadcast and freezes everything the
-evaluation needs into a :class:`ScenarioResult`.
+sweep executors share.  It dispatches on ``spec.backend`` to a
+:class:`~repro.scenarios.backends.ScenarioBackend`; the default
+``"simulation"`` backend (:func:`simulate_scenario`, kept here) expands
+the spec into a topology, a set of protocol instances (with Byzantine
+behaviours placed by the spec's strategies) and a
+:class:`SimulatedNetwork` with the spec's fault events armed, runs one
+broadcast and freezes everything the evaluation needs into a
+:class:`ScenarioResult`.
 
-Determinism contract: every random choice — topology generation, link
-delays, adversary placement, randomized behaviours — is derived from
-``spec.seed``, so ``run_scenario(spec)`` returns an equal result whether
-it runs inline or in a worker process.
+Determinism contract (simulation backend): every random choice —
+topology generation, link delays, adversary placement, randomized
+behaviours — is derived from ``spec.seed``, so ``run_scenario(spec)``
+returns an equal result whether it runs inline or in a worker process.
+The asyncio backend shares the deterministic *expansion* (topology,
+placement, protocol wiring) but its timings are wall-clock; only its
+delivery/safety verdicts are comparable across runs (see
+:mod:`repro.scenarios.conformance`).
 """
 
 from __future__ import annotations
@@ -179,13 +186,8 @@ def build_protocols(
     return protocols
 
 
-def build_network(spec: ScenarioSpec) -> Tuple[SimulatedNetwork, Dict[int, str]]:
-    """Expand a spec into a ready-to-run network.
-
-    Returns the network (faults armed, broadcast not yet initiated) and
-    the pid → behaviour-name map of the placed adversaries.
-    """
-    topology = spec.topology.build(spec.seed)
+def validate_topology(spec: ScenarioSpec, topology: Topology) -> None:
+    """Checks every backend applies to the expanded topology."""
     if spec.source not in topology.adjacency:
         raise ConfigurationError(
             f"source {spec.source} is not a process of the topology"
@@ -197,6 +199,16 @@ def build_network(spec: ScenarioSpec) -> Tuple[SimulatedNetwork, Dict[int, str]]
             "the 'bracha' protocol requires a complete topology; "
             f"got {topology.name}"
         )
+
+
+def build_network(spec: ScenarioSpec) -> Tuple[SimulatedNetwork, Dict[int, str]]:
+    """Expand a spec into a ready-to-run network.
+
+    Returns the network (faults armed, broadcast not yet initiated) and
+    the pid → behaviour-name map of the placed adversaries.
+    """
+    topology = spec.topology.build(spec.seed)
+    validate_topology(spec, topology)
     byzantine = place_byzantine(spec, topology)
     protocols = build_protocols(spec, topology, byzantine)
     network = SimulatedNetwork(
@@ -212,19 +224,28 @@ def build_network(spec: ScenarioSpec) -> Tuple[SimulatedNetwork, Dict[int, str]]
     return network, {pid: adv.behaviour for pid, adv in byzantine.items()}
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Run one scenario end to end and freeze its result."""
-    network, byzantine = build_network(spec)
-    payload = spec.payload()
-    network.broadcast(spec.source, payload, spec.bid)
-    metrics = network.run(max_events=spec.max_events)
+def freeze_result(
+    spec: ScenarioSpec,
+    *,
+    topology: Topology,
+    byzantine: Dict[int, str],
+    metrics: RunMetrics,
+    dropped_messages: int,
+    payload: bytes,
+) -> ScenarioResult:
+    """Freeze one run's observations into a :class:`ScenarioResult`.
 
+    Shared by every execution backend: the simulation passes simulated
+    timestamps, the asyncio backend wall-clock milliseconds relative to
+    the broadcast epoch — the delivery/safety predicates read the same
+    either way.
+    """
     crashed = tuple(
         sorted({fault.pid for fault in spec.faults if isinstance(fault, CrashAt)})
     )
     correct = tuple(
         pid
-        for pid in network.topology.nodes
+        for pid in topology.nodes
         if pid not in byzantine and pid not in crashed
     )
     key = (spec.source, spec.bid)
@@ -236,7 +257,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return ScenarioResult(
         spec=spec,
         scenario_hash=spec.scenario_hash(),
-        topology_name=network.topology.name,
+        topology_name=topology.name,
         byzantine=tuple(sorted(byzantine.items())),
         crashed=crashed,
         correct_processes=correct,
@@ -244,11 +265,45 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
         latency_ms=metrics.delivery_latency(key, correct),
         total_bytes=metrics.total_bytes,
         message_count=metrics.message_count,
-        dropped_messages=network.dropped_messages,
+        dropped_messages=dropped_messages,
         payload_hex=payload.hex(),
         delivery_trace=trace,
         metrics=metrics,
     )
+
+
+def simulate_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Run one scenario on the discrete-event simulator and freeze it."""
+    network, byzantine = build_network(spec)
+    payload = spec.payload()
+    network.broadcast(spec.source, payload, spec.bid)
+    metrics = network.run(max_events=spec.max_events)
+    return freeze_result(
+        spec,
+        topology=network.topology,
+        byzantine=byzantine,
+        metrics=metrics,
+        dropped_messages=network.dropped_messages,
+        payload=payload,
+    )
+
+
+def run_scenario(spec: ScenarioSpec, backend=None) -> ScenarioResult:
+    """Run one scenario end to end on its declared execution backend.
+
+    ``backend`` optionally overrides the dispatch with a configured
+    :class:`~repro.scenarios.backends.ScenarioBackend` instance (e.g. an
+    :class:`~repro.scenarios.backends.AsyncioBackend` with a custom
+    delivery timeout).
+    """
+    if backend is None:
+        if spec.backend == "simulation":
+            return simulate_scenario(spec)
+        # Imported lazily: backends depends on this module.
+        from repro.scenarios.backends import get_backend
+
+        backend = get_backend(spec.backend)
+    return backend.run(spec)
 
 
 __all__ = [
@@ -257,5 +312,8 @@ __all__ = [
     "place_byzantine",
     "build_protocols",
     "build_network",
+    "validate_topology",
+    "freeze_result",
+    "simulate_scenario",
     "run_scenario",
 ]

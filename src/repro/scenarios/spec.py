@@ -161,14 +161,25 @@ class AdversarySpec:
             raise ConfigurationError(f"count must be non-negative, got {self.count}")
 
 
+#: Names of the registered execution backends (see
+#: :mod:`repro.scenarios.backends`, which asserts it stays in sync).
+BACKEND_NAMES = ("simulation", "asyncio")
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One reproducible simulated-broadcast scenario.
+    """One reproducible broadcast scenario.
 
     Everything the run depends on is in the spec, so two runs of the same
     spec — in the same process or in different worker processes — produce
     identical results.  ``seed`` drives the topology generation, the link
     delays, the adversary placement and any randomized behaviour.
+
+    ``backend`` selects the execution backend the sweep executors hand
+    the cell to: ``"simulation"`` (discrete-event, fully deterministic)
+    or ``"asyncio"`` (real TCP sockets on localhost; timings are
+    wall-clock, delivery/safety verdicts must match the simulation — see
+    :mod:`repro.scenarios.conformance`).
     """
 
     name: str = "scenario"
@@ -185,12 +196,17 @@ class ScenarioSpec:
     faults: Tuple[FaultEvent, ...] = ()
     max_events: Optional[int] = 5_000_000
     shared_bandwidth_bps: Optional[float] = None
+    backend: str = "simulation"
 
     def __post_init__(self) -> None:
         requested = sum(spec.count for spec in self.adversaries)
         if requested > self.f:
             raise ConfigurationError(
                 f"{requested} Byzantine processes requested but f={self.f}"
+            )
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
             )
 
     # ------------------------------------------------------------------
@@ -210,14 +226,27 @@ class ScenarioSpec:
         """A copy of this scenario with a different seed."""
         return replace(self, seed=seed)
 
+    def with_backend(self, backend: str) -> "ScenarioSpec":
+        """A copy of this scenario targeting a different execution backend."""
+        return replace(self, backend=backend)
+
     def scenario_hash(self) -> str:
         """Stable hex digest identifying this scenario.
 
         Used as the parallel executor's cache key: two specs with equal
         fields hash identically across processes and interpreter runs
-        (unlike ``hash()``, which is salted per interpreter).
+        (unlike ``hash()``, which is salted per interpreter).  The
+        backend is part of the key — an asyncio cell never shadows the
+        simulation cell of the same scenario — but the default
+        ``"simulation"`` is omitted from the canonical form so hashes of
+        pre-backend specs stay valid (the golden files pin them; note
+        the executor's pickle cache was still invalidated by its own
+        ``_CACHE_VERSION`` bump when this field was introduced).
         """
-        canonical = json.dumps(_canonical(self), sort_keys=True, separators=(",", ":"))
+        fields_dict = _canonical(self)
+        if fields_dict.get("backend") == "simulation":
+            del fields_dict["backend"]
+        canonical = json.dumps(fields_dict, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
@@ -239,4 +268,10 @@ def _canonical(value):
     return value
 
 
-__all__ = ["TopologySpec", "DelaySpec", "AdversarySpec", "ScenarioSpec"]
+__all__ = [
+    "TopologySpec",
+    "DelaySpec",
+    "AdversarySpec",
+    "ScenarioSpec",
+    "BACKEND_NAMES",
+]

@@ -27,7 +27,6 @@ class TestAsyncioRuntime:
                 lambda pid, cfg, nb: CrossLayerBrachaDolev(
                     pid, cfg, nb, modifications=ModificationSet.all_enabled()
                 ),
-                port_base=22710,
             )
             await cluster.start()
             try:
@@ -48,7 +47,6 @@ class TestAsyncioRuntime:
                 topo,
                 config,
                 lambda pid, cfg, nb: BrachaBroadcast(pid, cfg, nb),
-                port_base=22760,
             )
             await cluster.start()
             try:
@@ -57,6 +55,36 @@ class TestAsyncioRuntime:
                 assert cluster.delivered_payloads(0) == [b"bracha-tcp"]
             finally:
                 await cluster.stop()
+
+        run(scenario())
+
+    def test_concurrent_clusters_do_not_collide_on_ports(self):
+        # Ephemeral allocation: two clusters in the same loop never race
+        # for a fixed port range (pytest-xdist / parallel CI jobs).
+        async def scenario():
+            config = SystemConfig.for_system(4, 1)
+            topo = complete_topology(4)
+            clusters = [
+                AsyncioCluster(
+                    topo, config, lambda pid, cfg, nb: BrachaBroadcast(pid, cfg, nb)
+                )
+                for _ in range(2)
+            ]
+            for cluster in clusters:
+                await cluster.start()
+            try:
+                ports = [
+                    cluster.nodes[pid].port for cluster in clusters for pid in topo.nodes
+                ]
+                assert len(set(ports)) == len(ports)
+                for index, cluster in enumerate(clusters):
+                    await cluster.broadcast(0, b"cluster-%d" % index, bid=0)
+                for index, cluster in enumerate(clusters):
+                    assert await cluster.wait_for_all_deliveries(count=1, timeout=20)
+                    assert cluster.delivered_payloads(3) == [b"cluster-%d" % index]
+            finally:
+                for cluster in clusters:
+                    await cluster.stop()
 
         run(scenario())
 
@@ -70,7 +98,6 @@ class TestAsyncioRuntime:
                 lambda pid, cfg, nb: CrossLayerBrachaDolev(
                     pid, cfg, nb, modifications=ModificationSet.latency_and_bandwidth_optimized()
                 ),
-                port_base=22810,
             )
             await cluster.start()
             try:

@@ -1,0 +1,140 @@
+"""Cross-backend conformance: simulation and asyncio agree on verdicts.
+
+The same declarative :class:`ScenarioSpec` is executed on the
+discrete-event simulator and on the asyncio TCP runtime (real localhost
+sockets), and the delivery/safety verdicts — who is correct, who
+delivered what, and whether totality/agreement/validity hold — must be
+identical.  Timings are intentionally excluded: the simulator's clock is
+virtual, the runtime's is the wall.
+
+These tests open dozens of real sockets per scenario and are marked
+``slow``; the dedicated CI job runs them under a hard pytest timeout so
+a hung socket fails fast instead of stalling the runner.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    AdversarySpec,
+    AsyncioBackend,
+    CrashAt,
+    DelayedStart,
+    LinkDropWindow,
+    ScenarioSpec,
+    TopologySpec,
+    expand_grid,
+    run_conformance,
+)
+from repro.runner.parallel import SweepExecutor
+
+pytestmark = pytest.mark.slow
+
+#: Short timeouts: every scenario below delivers within a second on
+#: localhost, and a conformance failure should not wait out 20 s.
+FAST_ASYNCIO = AsyncioBackend(delivery_timeout_s=10.0, connect_timeout_s=10.0)
+
+
+def assert_conforms(spec: ScenarioSpec) -> None:
+    report = run_conformance(spec, overrides={"asyncio": FAST_ASYNCIO})
+    assert report.agree, f"backends disagree on {spec.name}: {report.mismatches()}"
+    # The two backends must occupy distinct cache slots.
+    hashes = dict(report.scenario_hashes)
+    assert hashes["simulation"] != hashes["asyncio"]
+
+
+class TestBackendConformance:
+    def test_no_fault_small_topology(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-no-fault",
+                topology=TopologySpec(kind="harary", n=5, k=3),
+                f=1,
+                seed=3,
+            )
+        )
+
+    def test_crash_fault_variant(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-crash",
+                topology=TopologySpec(kind="harary", n=6, k=4),
+                f=1,
+                seed=5,
+                faults=(CrashAt(pid=4, time_ms=0.0),),
+            )
+        )
+
+    def test_delayed_start_variant(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-delayed-start",
+                topology=TopologySpec(kind="harary", n=5, k=3),
+                f=1,
+                seed=7,
+                faults=(DelayedStart(pid=2, time_ms=100.0),),
+            )
+        )
+
+    def test_permanent_link_drop_routes_around(self):
+        # k=4 with one dead link still leaves 2f+1 disjoint paths, so
+        # both backends must report full delivery.
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-link-drop",
+                topology=TopologySpec(kind="harary", n=6, k=4),
+                f=1,
+                seed=9,
+                faults=(LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=None),),
+            )
+        )
+
+    def test_mute_adversary_variant(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-mute",
+                topology=TopologySpec(kind="harary", n=6, k=4),
+                f=1,
+                seed=11,
+                adversaries=(
+                    AdversarySpec(behaviour="mute", count=1, placement="random"),
+                ),
+            )
+        )
+
+    def test_bracha_on_complete_topology(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-bracha",
+                topology=TopologySpec(kind="complete", n=4),
+                protocol="bracha",
+                f=1,
+                seed=13,
+            )
+        )
+
+
+class TestSweepWithBackendAxis:
+    def test_executor_runs_mixed_backend_cells_and_caches_per_backend(self, tmp_path):
+        base = ScenarioSpec(
+            name="mixed-backend-sweep",
+            topology=TopologySpec(kind="harary", n=5, k=3),
+            f=1,
+            seed=2,
+        )
+        cells = expand_grid(base, {"backend": ["simulation", "asyncio"], "seed": [2, 3]})
+        executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+
+        results = executor.run(cells)
+        assert [r.spec.backend for r in results] == [
+            "simulation",
+            "simulation",
+            "asyncio",
+            "asyncio",
+        ]
+        assert all(r.all_correct_delivered for r in results)
+
+        # Every cell — including the asyncio ones — is served from the
+        # cache on a re-run, because the hash keys include the backend.
+        rerun = executor.run(cells)
+        assert executor.cache_hits == len(cells)
+        assert rerun == results
