@@ -1,19 +1,22 @@
 """Scenario-engine sweep through the parallel executor, end to end.
 
 Expands a base scenario into a grid of cells (adversary placement ×
-connectivity × seeds), runs it twice — once serially, once over a
-process pool with ``workers > 1`` — verifies the two paths agree cell by
-cell, and reports the aggregate impact of the adversary placements on
-latency and network consumption.
+connectivity × seeds), runs it three times — once serially, once over a
+process pool with ``workers > 1``, once over TCP-connected worker
+processes via :class:`~repro.runner.distributed.DistributedSweepExecutor`
+— verifies all paths agree cell by cell, and reports the aggregate
+impact of the adversary placements on latency and network consumption.
 
 This is the harness every later scaling PR plugs new workloads into; the
-serial/parallel agreement check doubles as a continuous guard on the
-scenario engine's determinism contract.
+serial/parallel/distributed agreement check doubles as a continuous
+guard on the scenario engine's determinism contract.
 """
 
+import time
 from dataclasses import replace
 
 from repro.core.modifications import ModificationSet
+from repro.runner.distributed import DistributedSweepExecutor
 from repro.runner.parallel import SweepExecutor
 from repro.scenarios import AdversarySpec, DelaySpec, ScenarioSpec, TopologySpec, expand_grid
 
@@ -80,8 +83,21 @@ def test_scenario_sweep_parallel_executor(benchmark):
     # The determinism contract: the pool returns exactly the serial results.
     assert parallel == serial
 
+    # Distributed mode: the same cells over TCP-connected worker
+    # processes (the coordinator spawns them locally here; across hosts
+    # the timing would add real network latency and a shared cache dir).
+    distributed_executor = DistributedSweepExecutor(workers=2)
+    started = time.perf_counter()
+    distributed = distributed_executor.run(cells)
+    distributed_seconds = time.perf_counter() - started
+    assert distributed == serial
+
     emit_header(
         f"Scenario sweep — {len(cells)} cells, {workers} workers (scale={SCALE.name})"
+    )
+    emit(
+        f"distributed mode: {len(cells)} cells over 2 worker processes "
+        f"in {distributed_seconds:.2f}s"
     )
     summary = {}
     for label in dict.fromkeys(labels):
@@ -114,6 +130,12 @@ def test_scenario_sweep_parallel_executor(benchmark):
             "workers": workers,
             "cells": len(cells),
             "backends": backends,
+            "distributed": {
+                "workers": 2,
+                "seconds": distributed_seconds,
+                "dispatched_cells": distributed_executor.dispatched_cells,
+                "requeued_cells": distributed_executor.requeued_cells,
+            },
             "summary": summary,
         },
     )

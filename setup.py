@@ -1,10 +1,29 @@
-"""Legacy setuptools entry point.
+"""Setuptools entry point.
 
-Kept so that ``pip install -e .`` keeps working on environments without
-the ``wheel`` package (PEP 660 editable installs require it); all project
-metadata lives in ``pyproject.toml``.
+The project is normally used straight from a checkout (the root
+``conftest.py`` puts ``src`` on ``sys.path``); installing is only needed
+for the console scripts, most importantly ``repro-sweep-worker`` — the
+worker half of the distributed sweep executor
+(:mod:`repro.runner.distributed`).  Uninstalled environments can run the
+same worker as ``python -m repro.runner.distributed``.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-bonomi-icdcs21",
+    version="1.0.0",
+    description=(
+        "Reproduction of Bonomi et al. (ICDCS 2021): Byzantine-resilient "
+        "broadcast on partially connected networks"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["networkx", "numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-sweep-worker=repro.runner.distributed:worker_main",
+        ],
+    },
+)

@@ -8,7 +8,22 @@ length prefix, encode them with :mod:`repro.core.encoding`, and treat the
 connection identity as the authenticated-link sender identity.
 """
 
+from repro.network.asyncio_runtime.framing import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
 from repro.network.asyncio_runtime.node import AsyncioNode
 from repro.network.asyncio_runtime.cluster import AsyncioCluster
 
-__all__ = ["AsyncioNode", "AsyncioCluster"]
+__all__ = [
+    "AsyncioNode",
+    "AsyncioCluster",
+    "FrameError",
+    "MAX_FRAME_BYTES",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

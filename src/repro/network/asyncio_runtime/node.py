@@ -31,16 +31,18 @@ fault events into:
 from __future__ import annotations
 
 import asyncio
-import struct
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.encoding import decode_message, encode_message
 from repro.core.errors import RuntimeAbort
 from repro.core.events import BRBDeliver, Command, RCDeliver, SendTo
 from repro.metrics.collector import MetricsCollector
-
-_LENGTH = struct.Struct(">I")
-_HELLO = struct.Struct(">I")
+from repro.network.asyncio_runtime.framing import (
+    HELLO as _HELLO,
+    FrameError,
+    read_frame,
+    write_frame,
+)
 
 
 class AsyncioNode:
@@ -347,12 +349,15 @@ class AsyncioNode:
     async def _read_loop(self, peer_id: int, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                header = await reader.readexactly(_LENGTH.size)
-                (length,) = _LENGTH.unpack(header)
-                frame = await reader.readexactly(length)
+                frame = await read_frame(reader)
                 message = decode_message(frame)
                 await self.handle_message(peer_id, message)
-        except (asyncio.IncompleteReadError, asyncio.CancelledError, ConnectionError):
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,
+            ConnectionError,
+            FrameError,
+        ):
             return
 
     async def _execute(self, commands: Iterable[Command]) -> None:
@@ -400,7 +405,15 @@ class AsyncioNode:
         if writer is None:
             return
         frame = encode_message(message)
-        writer.write(_LENGTH.pack(len(frame)) + frame)
+        try:
+            write_frame(writer, frame)
+        except FrameError as exc:
+            # Outbound overflow is our own bug, not a peer disconnect:
+            # surface it instead of letting _read_loop's FrameError
+            # handling (meant for corrupt *inbound* prefixes) eat it.
+            raise RuntimeAbort(
+                f"outbound message to {dest} exceeds the frame cap: {exc}"
+            ) from exc
         try:
             await writer.drain()
         except ConnectionError:

@@ -7,11 +7,19 @@ returns the latency / network-consumption metrics of the run —
 reproducing the measurement loop of Sec. 7.1.
 """
 
+from repro.runner.cache import CACHE_VERSION, ResultCache, partition_cached
 from repro.runner.configs import (
     PROTOCOL_CONFIGURATIONS,
     modification_set_for,
     protocol_factory,
     protocol_family,
+)
+from repro.runner.distributed import (
+    DistributedSweepExecutor,
+    launch_local_workers,
+    run_distributed_sweep,
+    run_worker,
+    worker_main,
 )
 from repro.runner.experiment import (
     ExperimentConfig,
@@ -31,6 +39,14 @@ __all__ = [
     "sweep",
     "SweepExecutor",
     "run_sweep",
+    "DistributedSweepExecutor",
+    "run_distributed_sweep",
+    "run_worker",
+    "launch_local_workers",
+    "worker_main",
+    "ResultCache",
+    "partition_cached",
+    "CACHE_VERSION",
     "PROTOCOL_CONFIGURATIONS",
     "modification_set_for",
     "protocol_factory",

@@ -1,0 +1,764 @@
+"""Distributed sweep executor: scenario cells fanned out over worker hosts.
+
+The :class:`DistributedSweepExecutor` is the multi-host sibling of
+:class:`~repro.runner.parallel.SweepExecutor`.  A coordinator listens on
+a TCP port; worker processes — on the same machine or on other hosts —
+dial in, handshake, and then pull one
+:class:`~repro.scenarios.spec.ScenarioSpec` cell at a time, execute it
+on their local :class:`~repro.scenarios.backends.ScenarioBackend` via
+:func:`~repro.scenarios.engine.run_scenario`, and stream the
+:class:`~repro.scenarios.engine.ScenarioResult` back.  Messages use the
+asyncio runtime's own length-prefixed framing
+(:mod:`repro.network.asyncio_runtime.framing`) with the tagged envelopes
+of :mod:`repro.runner.wire`.
+
+**The cache directory is the coordination layer.**  Coordinator and
+workers share one scenario-hash cache (:mod:`repro.runner.cache` — on
+one machine a local path, across hosts a shared filesystem).  Every
+computed result is persisted there, the coordinator re-checks the cache
+at dispatch time, and a cell cached by *any* participant — including a
+concurrent sweep on the same directory — is never dispatched again.
+
+**Failure semantics.**  The sweep always terminates, with results equal
+to the serial path for simulation cells:
+
+* a worker that dies mid-cell (connection loss) or goes silent past the
+  lease (no heartbeat for ``lease_timeout_s``) has its cell requeued for
+  the next worker;
+* a cell whose *execution* raises on a worker is requeued without
+  dropping the connection — the worker stays in the fleet and keeps
+  serving other cells;
+* a cell requeued more than ``retry_budget`` times degrades to local
+  execution on the coordinator (its thread pool), so a poisonous worker
+  fleet cannot starve the sweep;
+* with no live workers at all for ``worker_wait_s``, every pending cell
+  degrades to local execution — a sweep with zero workers is just a slow
+  serial run;
+* a worker whose wire version does not match is rejected at handshake
+  with an explicit REJECT reply.
+
+Worker processes run :func:`run_worker`, exposed as the
+``repro-sweep-worker`` console script (also reachable as
+``python -m repro.runner.distributed``)::
+
+    repro-sweep-worker --connect COORDINATOR_HOST:PORT --cache-dir /shared/cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import subprocess
+import sys
+import traceback
+from collections import deque
+from pathlib import Path
+from typing import Deque, List, Optional, Sequence, Set, Union
+
+from repro.core.errors import ReproError, RuntimeAbort
+from repro.network.asyncio_runtime.framing import (
+    FrameError,
+    read_frame,
+    write_frame,
+)
+from repro.runner import wire
+from repro.runner.cache import ResultCache, partition_cached
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+
+class _LeaseExpired(Exception):
+    """A worker held a cell past its lease without a heartbeat."""
+
+
+class _CellFailed(Exception):
+    """A live worker reported that executing its cell raised."""
+
+
+class _Cell:
+    """One sweep cell's dispatch state."""
+
+    __slots__ = ("index", "spec", "retries")
+
+    def __init__(self, index: int, spec: ScenarioSpec) -> None:
+        self.index = index
+        self.spec = spec
+        self.retries = 0
+
+
+class DistributedSweepExecutor:
+    """Coordinates one sweep over TCP-connected worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Number of local worker *subprocesses* to spawn for the run (the
+        zero-config path, mirroring ``SweepExecutor(workers=N)``).  With
+        ``workers=0`` the executor only serves externally started
+        workers — pass a fixed ``port`` and point ``repro-sweep-worker``
+        processes at it.
+    host / port:
+        Listening address.  ``port=0`` binds an ephemeral port, published
+        as :attr:`port` once :attr:`started` is set.
+    cache_dir:
+        Shared scenario-hash cache directory (the coordination layer);
+        ``None`` disables caching — results then only travel the wire.
+    retry_budget:
+        How many times a cell may be *re*-dispatched after worker
+        failures before it degrades to local execution.
+    lease_timeout_s:
+        Maximum silence (no heartbeat, no result) before an assigned
+        cell's lease expires and the worker's connection is dropped.
+    worker_wait_s:
+        How long the coordinator waits with pending cells and zero live
+        workers before executing the remainder locally.
+    local_fallback:
+        When ``False``, exhausting the retry budget (or the worker wait)
+        raises :class:`~repro.core.errors.RuntimeAbort` instead of
+        degrading to local execution.
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 0,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: Optional[Union[str, Path]] = None,
+        retry_budget: int = 2,
+        lease_timeout_s: float = 60.0,
+        worker_wait_s: float = 30.0,
+        local_fallback: bool = True,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+        self.workers = workers
+        self.host = host
+        self.requested_port = port
+        self.cache = ResultCache(cache_dir)
+        self.retry_budget = retry_budget
+        self.lease_timeout_s = lease_timeout_s
+        self.worker_wait_s = worker_wait_s
+        self.local_fallback = local_fallback
+
+        #: Set once the coordinator is listening; :attr:`port` is the
+        #: actual bound port (ephemeral allocation resolves here).
+        self.started = asyncio.Event()
+        self.port: Optional[int] = None
+        #: Worker subprocesses spawned for the current run (``workers > 0``).
+        self.worker_processes: List[subprocess.Popen] = []
+
+        # Per-run observability counters.
+        self.cache_hits = 0
+        self.dispatched_cells = 0
+        self.completed_cells = 0
+        self.requeued_cells = 0
+        self.locally_executed = 0
+        self.rejected_workers = 0
+        self.active_workers = 0
+
+        # Per-run coordination state (created in run_async).
+        self._results: List[Optional[ScenarioResult]] = []
+        self._pending: Deque[_Cell] = deque()
+        self._outstanding = 0
+        self._failure: Optional[BaseException] = None
+        self._done: Optional[asyncio.Event] = None
+        self._work_event: Optional[asyncio.Event] = None
+        self._handler_tasks: Set[asyncio.Task] = set()
+        self._local_tasks: Set[asyncio.Task] = set()
+        self._store_futures: Set[asyncio.Future] = set()
+        self._last_worker_seen = 0.0
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self, cells: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        """Run every cell and return results in cell order (blocking)."""
+        return asyncio.run(self.run_async(cells))
+
+    async def run_async(self, cells: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
+        """Async flavour of :meth:`run` for callers hosting the loop."""
+        cells = list(cells)
+        loop = asyncio.get_running_loop()
+        self._reset()
+        self._results, pending_indices, self.cache_hits = partition_cached(
+            cells, self.cache
+        )
+        self._pending = deque(_Cell(index, cells[index]) for index in pending_indices)
+        self._outstanding = len(pending_indices)
+        self._done = asyncio.Event()
+        self._work_event = asyncio.Event()
+        self._last_worker_seen = loop.time()
+        if self._outstanding == 0:
+            self._done.set()
+
+        server = await asyncio.start_server(
+            self._serve_worker, host=self.host, port=self.requested_port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        self.started.set()
+        if self.workers > 0 and not self._done.is_set():
+            self.worker_processes = launch_local_workers(
+                self.workers, self.host, self.port, cache_dir=self.cache.cache_dir
+            )
+        watchdog = asyncio.ensure_future(self._watchdog())
+        try:
+            await self._done.wait()
+        finally:
+            watchdog.cancel()
+            server.close()
+            # Handlers must be woken and drained *before* wait_closed:
+            # on Python >= 3.12.1 wait_closed blocks until every
+            # connection handler returned, and idle handlers sit in
+            # _next_cell until the wake-up below.
+            self._wake_handlers()
+            await self._drain_tasks(self._local_tasks)
+            await self._drain_tasks(self._handler_tasks)
+            await self._await_store_futures()
+            await server.wait_closed()
+            await self._reap_worker_processes()
+            self.started.clear()
+        if self._failure is not None:
+            raise self._failure
+        return self._results  # type: ignore[return-value]
+
+    def _reset(self) -> None:
+        self.worker_processes = []
+        self.cache_hits = 0
+        self.dispatched_cells = 0
+        self.completed_cells = 0
+        self.requeued_cells = 0
+        self.locally_executed = 0
+        self.rejected_workers = 0
+        self.active_workers = 0
+        self._failure = None
+        self._handler_tasks = set()
+        self._local_tasks = set()
+        self._store_futures = set()
+
+    # ------------------------------------------------------------------
+    # Cell scheduling
+    # ------------------------------------------------------------------
+    def _wake_handlers(self) -> None:
+        if self._work_event is not None:
+            self._work_event.set()
+
+    async def _next_cell(self) -> Optional[_Cell]:
+        """The next cell to dispatch, or ``None`` once the sweep is over."""
+        assert self._done is not None and self._work_event is not None
+        while True:
+            if self._failure is not None or self._done.is_set():
+                return None
+            if self._pending:
+                return self._pending.popleft()
+            self._work_event.clear()
+            await self._work_event.wait()
+
+    def _complete(self, index: int, result: ScenarioResult, *, store: bool = True) -> bool:
+        """Record one cell's result; idempotent across duplicate paths.
+
+        A cell can resolve twice — requeued after a lease expiry while
+        the original worker still finishes, or served from the cache a
+        concurrent sweep populated — so only the first resolution counts.
+        """
+        if self._results[index] is not None:
+            return False
+        self._results[index] = result
+        self.completed_cells += 1
+        if store:
+            self._store_off_loop(result)
+        self._outstanding -= 1
+        if self._outstanding <= 0:
+            assert self._done is not None
+            self._done.set()
+        self._wake_handlers()
+        return True
+
+    def _store_off_loop(self, result: ScenarioResult) -> None:
+        """Persist a result without pickling multi-MB records on the loop.
+
+        The write happens on the thread pool so heartbeat and frame
+        handling never stall behind a slow (shared) filesystem; run_async
+        drains the futures before returning, so the cache is complete by
+        the time ``run`` hands the results back.
+        """
+        if not self.cache.enabled:
+            return
+        future = asyncio.get_running_loop().run_in_executor(
+            None, self.cache.store, result
+        )
+        self._store_futures.add(future)
+
+        def finish(done: asyncio.Future) -> None:
+            self._store_futures.discard(done)
+            exc = done.exception() if not done.cancelled() else None
+            if exc is not None:
+                # An unwritable cache corrupts nothing but must be loud:
+                # the serial executor would have raised here too.
+                self._fail(exc)
+
+        future.add_done_callback(finish)
+
+    def _fail(self, exc: BaseException) -> None:
+        if self._failure is None:
+            self._failure = exc
+        assert self._done is not None
+        self._done.set()
+        self._wake_handlers()
+
+    def _requeue(self, cell: _Cell, reason: str) -> None:
+        """Put a failed assignment back on the queue (or degrade it)."""
+        if self._results[cell.index] is not None:
+            return  # resolved through another path meanwhile
+        self.requeued_cells += 1
+        cell.retries += 1
+        if cell.retries <= self.retry_budget:
+            self._pending.append(cell)
+            self._wake_handlers()
+        else:
+            self._go_local(
+                cell,
+                f"cell {cell.index} exhausted its retry budget "
+                f"({self.retry_budget}); last failure: {reason}",
+            )
+
+    def _go_local(self, cell: _Cell, reason: str) -> None:
+        """Degrade one cell to local execution on the coordinator."""
+        if not self.local_fallback:
+            self._fail(RuntimeAbort(f"distributed sweep failed: {reason}"))
+            return
+        self.locally_executed += 1
+        task = asyncio.ensure_future(self._run_local(cell))
+        self._local_tasks.add(task)
+        task.add_done_callback(self._local_tasks.discard)
+
+    async def _run_local(self, cell: _Cell) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            result = await loop.run_in_executor(None, run_scenario, cell.spec)
+        except Exception as exc:
+            # The cell itself is broken — a serial run would raise too.
+            self._fail(exc)
+            return
+        self._complete(cell.index, result)
+
+    async def _watchdog(self) -> None:
+        """Degrade every pending cell once no worker has shown up."""
+        assert self._done is not None
+        loop = asyncio.get_running_loop()
+        interval = max(0.05, min(1.0, self.worker_wait_s / 5.0))
+        while not self._done.is_set():
+            await asyncio.sleep(interval)
+            if self._done.is_set():
+                return
+            quiet_for = loop.time() - self._last_worker_seen
+            if self.active_workers == 0 and quiet_for >= self.worker_wait_s:
+                while self._pending:
+                    cell = self._pending.popleft()
+                    self._go_local(
+                        cell,
+                        f"no live workers for {self.worker_wait_s:.1f}s",
+                    )
+
+    # ------------------------------------------------------------------
+    # Worker connections
+    # ------------------------------------------------------------------
+    async def _serve_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handler_tasks.add(task)
+            task.add_done_callback(self._handler_tasks.discard)
+        try:
+            await self._handle_worker(reader, writer)
+        finally:
+            writer.close()
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        # -- handshake -------------------------------------------------
+        try:
+            kind, _ = wire.decode_envelope(await read_frame(reader))
+            if kind != wire.HELLO:
+                raise wire.WireError(
+                    f"expected HELLO, got {wire.KIND_NAMES.get(kind, hex(kind))}"
+                )
+        except wire.WireError as exc:
+            self.rejected_workers += 1
+            try:
+                write_frame(writer, wire.encode_reject(str(exc)))
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            return
+        except (asyncio.IncompleteReadError, FrameError, ConnectionError, OSError):
+            return
+        try:
+            write_frame(writer, wire.encode_welcome())
+            await writer.drain()
+        except (ConnectionError, OSError):
+            return
+
+        self.active_workers += 1
+        self._last_worker_seen = loop.time()
+        try:
+            while True:
+                cell = await self._next_cell()
+                if cell is None:
+                    # Sweep over: tell the worker to exit cleanly.
+                    try:
+                        write_frame(writer, wire.encode_shutdown())
+                        await writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
+                    return
+                # Dispatch-time cache re-check: another worker (or a
+                # concurrent sweep on the same directory) may have
+                # computed the cell since it was queued.  Off the loop:
+                # unpickling a large record must not stall the frame
+                # reads and heartbeats of every other connection.
+                cached = (
+                    await loop.run_in_executor(None, self.cache.load, cell.spec)
+                    if self.cache.enabled
+                    else None
+                )
+                if cached is not None:
+                    self._complete(cell.index, cached, store=False)
+                    continue
+                try:
+                    await self._attend(cell, reader, writer, loop)
+                except _CellFailed as exc:
+                    # The worker is healthy — only the cell raised.
+                    # Requeue it and keep serving this connection; a
+                    # single failing cell must not shrink the fleet.
+                    self._requeue(cell, str(exc))
+                    continue
+                except _LeaseExpired:
+                    self._requeue(cell, "lease expired without a heartbeat")
+                    return  # drop the connection: its stream state is stale
+                except (
+                    asyncio.IncompleteReadError,
+                    ConnectionError,
+                    OSError,
+                    FrameError,
+                    wire.WireError,
+                ) as exc:
+                    self._requeue(cell, f"worker connection failed: {exc!r}")
+                    return
+        finally:
+            self.active_workers -= 1
+            self._last_worker_seen = loop.time()
+
+    async def _attend(
+        self,
+        cell: _Cell,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        loop: asyncio.AbstractEventLoop,
+    ) -> None:
+        """Dispatch one cell and babysit its lease until resolution."""
+        write_frame(writer, wire.encode_task(cell.index, cell.spec))
+        await writer.drain()
+        self.dispatched_cells += 1
+        deadline = loop.time() + self.lease_timeout_s
+        while True:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                raise _LeaseExpired()
+            try:
+                frame = await asyncio.wait_for(read_frame(reader), timeout=remaining)
+            except asyncio.TimeoutError:
+                raise _LeaseExpired() from None
+            kind, body = wire.decode_envelope(frame)
+            if kind == wire.HEARTBEAT:
+                if wire.decode_heartbeat(body) != cell.index:
+                    raise wire.WireError("heartbeat for a cell not assigned here")
+                self._last_worker_seen = loop.time()
+                deadline = loop.time() + self.lease_timeout_s
+            elif kind == wire.RESULT:
+                index, result = wire.decode_result(body)
+                if index != cell.index:
+                    raise wire.WireError(
+                        f"result for cell {index}, expected {cell.index}"
+                    )
+                if result.spec != cell.spec:
+                    raise wire.WireError(
+                        f"result spec does not match the dispatched cell {index}"
+                    )
+                self._last_worker_seen = loop.time()
+                self._complete(cell.index, result)
+                return
+            elif kind == wire.ERROR:
+                index, message = wire.decode_error(body)
+                if index != cell.index:
+                    raise wire.WireError(
+                        f"error report for cell {index}, expected {cell.index}"
+                    )
+                self._last_worker_seen = loop.time()
+                raise _CellFailed(f"worker failed on cell {index}: {message}")
+            else:
+                raise wire.WireError(
+                    f"unexpected {wire.KIND_NAMES.get(kind, hex(kind))} "
+                    "while a cell was assigned"
+                )
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+    async def _await_store_futures(self) -> None:
+        """Wait for every off-loop cache write to land — no timeout, no
+        cancel: :meth:`_store_off_loop` promises the cache is complete
+        when ``run`` returns, and cancelling the asyncio future would
+        orphan the running write thread and swallow its failure.  (The
+        serial executor blocks on the same writes inline.)"""
+        pending = {future for future in self._store_futures if not future.done()}
+        if pending:
+            await asyncio.wait(pending)
+
+    @staticmethod
+    async def _drain_tasks(tasks: Set[asyncio.Task], timeout: float = 5.0) -> None:
+        pending = {task for task in tasks if not task.done()}
+        if not pending:
+            return
+        _, still_pending = await asyncio.wait(pending, timeout=timeout)
+        for task in still_pending:
+            task.cancel()
+        if still_pending:
+            await asyncio.gather(*still_pending, return_exceptions=True)
+
+    async def _reap_worker_processes(self, timeout: float = 5.0) -> None:
+        loop = asyncio.get_running_loop()
+        for proc in self.worker_processes:
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(None, proc.wait), timeout=timeout
+                )
+            except asyncio.TimeoutError:
+                proc.kill()
+                await loop.run_in_executor(None, proc.wait)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+async def run_worker(
+    host: str,
+    port: int,
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+    heartbeat_interval_s: float = 2.0,
+    connect_attempts: int = 40,
+    connect_delay_s: float = 0.25,
+) -> int:
+    """Serve one coordinator until it shuts the sweep down.
+
+    Dials ``host:port`` (retrying while the coordinator is still coming
+    up), handshakes, then executes dispatched cells on the local
+    backend, emitting a heartbeat every ``heartbeat_interval_s`` while a
+    cell runs.  Results are persisted to ``cache_dir`` (the shared
+    coordination directory) *and* streamed back.  Returns the number of
+    cells this worker computed.
+
+    Raises :class:`~repro.runner.wire.WireError` if the coordinator
+    rejects the handshake (version mismatch) and
+    :class:`ConnectionError` if it never becomes reachable.
+    """
+    reader = writer = None
+    last_error: Optional[Exception] = None
+    for _ in range(connect_attempts):
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            break
+        except OSError as exc:
+            last_error = exc
+            await asyncio.sleep(connect_delay_s)
+    if reader is None or writer is None:
+        raise ConnectionError(
+            f"could not reach coordinator {host}:{port}: {last_error}"
+        )
+
+    loop = asyncio.get_running_loop()
+    cache = ResultCache(cache_dir)
+    computed = 0
+    try:
+        write_frame(writer, wire.encode_hello())
+        await writer.drain()
+        kind, body = wire.decode_envelope(await read_frame(reader))
+        if kind == wire.REJECT:
+            raise wire.WireError(
+                f"coordinator rejected this worker: {wire.decode_reject(body)}"
+            )
+        if kind != wire.WELCOME:
+            raise wire.WireError(
+                f"expected WELCOME, got {wire.KIND_NAMES.get(kind, hex(kind))}"
+            )
+
+        while True:
+            try:
+                frame = await read_frame(reader)
+            except (asyncio.IncompleteReadError, ConnectionError):
+                return computed  # coordinator gone: the sweep is over
+            kind, body = wire.decode_envelope(frame)
+            if kind == wire.SHUTDOWN:
+                return computed
+            if kind != wire.TASK:
+                raise wire.WireError(
+                    f"expected TASK, got {wire.KIND_NAMES.get(kind, hex(kind))}"
+                )
+            index, spec = wire.decode_task(body)
+
+            def load_compute_store(spec=spec):
+                # One worker-thread unit covering cache load, scenario
+                # run and cache store, so the heartbeat loop below spans
+                # every slow (shared) filesystem operation — a hung NFS
+                # load must not silently expire the lease.
+                cached = cache.load(spec)
+                if cached is not None:
+                    return cached, False
+                fresh = run_scenario(spec)
+                cache.store(fresh)
+                return fresh, True
+
+            future = loop.run_in_executor(None, load_compute_store)
+            while True:
+                done, _ = await asyncio.wait({future}, timeout=heartbeat_interval_s)
+                if done:
+                    break
+                write_frame(writer, wire.encode_heartbeat(index))
+                await writer.drain()
+            try:
+                result, freshly_computed = future.result()
+            except Exception:
+                write_frame(
+                    writer, wire.encode_error(index, traceback.format_exc())
+                )
+                await writer.drain()
+                continue
+            computed += int(freshly_computed)
+            write_frame(writer, wire.encode_result(index, result))
+            await writer.drain()
+    finally:
+        writer.close()
+
+
+def launch_local_workers(
+    count: int,
+    host: str,
+    port: int,
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+    python: Optional[str] = None,
+) -> List[subprocess.Popen]:
+    """Spawn ``count`` worker subprocesses dialing ``host:port``.
+
+    Used by the executor's ``workers=N`` convenience path, the
+    benchmarks and the tests.  The child environment gets the running
+    checkout's ``src`` directory prepended to ``PYTHONPATH`` so workers
+    resolve the same ``repro`` package even when it is not installed.
+    """
+    import repro
+
+    src_dir = str(Path(repro.__file__).resolve().parents[1])
+    env = os.environ.copy()
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    # ``-c`` rather than ``-m repro.runner.distributed``: the package
+    # __init__ already imports this module, and runpy would warn about
+    # re-executing a module that is in sys.modules.
+    command = [
+        python or sys.executable,
+        "-c",
+        "from repro.runner.distributed import worker_main; "
+        "raise SystemExit(worker_main())",
+        "--connect",
+        f"{host}:{port}",
+    ]
+    if cache_dir is not None:
+        command += ["--cache-dir", str(cache_dir)]
+    return [subprocess.Popen(command, env=env) for _ in range(count)]
+
+
+def worker_main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point of the ``repro-sweep-worker`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep-worker",
+        description="Serve scenario sweep cells for a DistributedSweepExecutor.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to dial",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="shared scenario-hash cache directory (the coordination layer)",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="heartbeat period while a cell is executing (default: 2)",
+    )
+    parser.add_argument(
+        "--connect-attempts",
+        type=int,
+        default=40,
+        help="dial retries while the coordinator comes up (default: 40)",
+    )
+    args = parser.parse_args(argv)
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        parser.error(f"--connect expects HOST:PORT, got {args.connect!r}")
+    try:
+        asyncio.run(
+            run_worker(
+                host,
+                int(port_text),
+                cache_dir=args.cache_dir,
+                heartbeat_interval_s=args.heartbeat_interval,
+                connect_attempts=args.connect_attempts,
+            )
+        )
+    except ReproError as exc:
+        print(f"repro-sweep-worker: {exc}", file=sys.stderr)
+        return 2
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-sweep-worker: {exc}", file=sys.stderr)
+        return 3
+    except KeyboardInterrupt:
+        return 130
+    return 0
+
+
+def run_distributed_sweep(
+    cells: Sequence[ScenarioSpec],
+    *,
+    workers: int = 2,
+    cache_dir: Optional[Union[str, Path]] = None,
+    **kwargs,
+) -> List[ScenarioResult]:
+    """One-shot convenience wrapper spawning local worker subprocesses."""
+    executor = DistributedSweepExecutor(
+        workers=workers, cache_dir=cache_dir, **kwargs
+    )
+    return executor.run(cells)
+
+
+__all__ = [
+    "DistributedSweepExecutor",
+    "run_worker",
+    "launch_local_workers",
+    "worker_main",
+    "run_distributed_sweep",
+]
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(worker_main())

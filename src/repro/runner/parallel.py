@@ -9,6 +9,11 @@ cells run on the discrete-event simulator, asyncio cells materialize an
 sockets — worker processes host their own event loop, and the ephemeral
 port allocation keeps concurrently running cells from colliding.
 
+For fan-out past one machine, see
+:class:`~repro.runner.distributed.DistributedSweepExecutor`, which
+shares this module's cache layer (:mod:`repro.runner.cache`) and
+determinism contract but ships cells to worker *hosts* over TCP.
+
 Guarantees:
 
 * **Seed stability** — a *simulation* cell's result only depends on the
@@ -22,25 +27,21 @@ Guarantees:
 * **Caching** — with a ``cache_dir``, each result is persisted under its
   scenario hash, which includes the backend, so the same scenario run on
   two backends occupies two cache slots; re-running a sweep only
-  executes the cells not yet cached (the cached result's spec is
-  verified against the requesting cell before being trusted, so hash
-  collisions degrade to a re-run).
+  executes the cells not yet cached (the cached record's executing
+  backend and spec are verified against the requesting cell before being
+  trusted, so collisions of either kind degrade to a re-run).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-import pickle
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 
+from repro.runner.cache import ResultCache, partition_cached
 from repro.scenarios.engine import ScenarioResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
-
-#: Bump when the pickled result layout changes to invalidate stale caches.
-#: v2: ScenarioSpec grew the ``backend`` field.
-_CACHE_VERSION = 2
 
 
 def _execute_cell(spec: ScenarioSpec) -> ScenarioResult:
@@ -74,47 +75,14 @@ class SweepExecutor:
         if workers is not None and workers < 1:
             raise ValueError(f"workers must be positive, got {workers}")
         self.workers = workers if workers is not None else (os.cpu_count() or 1)
-        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.cache = ResultCache(cache_dir)
         self.mp_context = mp_context
         #: Number of cells served from the cache by the last ``run`` call.
         self.cache_hits = 0
 
-    # ------------------------------------------------------------------
-    # Cache
-    # ------------------------------------------------------------------
-    def _cache_path(self, spec: ScenarioSpec) -> Optional[Path]:
-        if self.cache_dir is None:
-            return None
-        return self.cache_dir / f"{spec.scenario_hash()}.pkl"
-
-    def _cache_load(self, spec: ScenarioSpec) -> Optional[ScenarioResult]:
-        path = self._cache_path(spec)
-        if path is None or not path.exists():
-            return None
-        try:
-            with open(path, "rb") as handle:
-                version, result = pickle.load(handle)
-        except Exception:
-            # Any unreadable entry — truncated file, foreign pickle, a
-            # payload from a code version whose classes moved — degrades
-            # to a re-run, never to a failed sweep.
-            return None
-        if version != _CACHE_VERSION or not isinstance(result, ScenarioResult):
-            return None
-        if result.spec != spec:
-            # Hash collision or stale spec layout: recompute.
-            return None
-        return result
-
-    def _cache_store(self, result: ScenarioResult) -> None:
-        path = self._cache_path(result.spec)
-        if path is None:
-            return
-        path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(".tmp")
-        with open(tmp, "wb") as handle:
-            pickle.dump((_CACHE_VERSION, result), handle)
-        os.replace(tmp, path)
+    @property
+    def cache_dir(self) -> Optional[Path]:
+        return self.cache.cache_dir
 
     # ------------------------------------------------------------------
     # Execution
@@ -122,17 +90,7 @@ class SweepExecutor:
     def run(self, cells: Sequence[ScenarioSpec]) -> List[ScenarioResult]:
         """Run every cell and return results in cell order."""
         cells = list(cells)
-        results: List[Optional[ScenarioResult]] = [None] * len(cells)
-        self.cache_hits = 0
-
-        pending: List[int] = []
-        for index, spec in enumerate(cells):
-            cached = self._cache_load(spec)
-            if cached is not None:
-                results[index] = cached
-                self.cache_hits += 1
-            else:
-                pending.append(index)
+        results, pending, self.cache_hits = partition_cached(cells, self.cache)
 
         if pending:
             specs = [cells[index] for index in pending]
@@ -149,7 +107,7 @@ class SweepExecutor:
                     fresh = pool.map(_execute_cell, specs, chunksize=1)
             for index, result in zip(pending, fresh):
                 results[index] = result
-                self._cache_store(result)
+                self.cache.store(result)
 
         return results  # type: ignore[return-value]
 

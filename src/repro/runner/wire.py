@@ -1,0 +1,230 @@
+"""Coordinator↔worker message codec of the distributed sweep executor.
+
+Messages ride inside the asyncio runtime's length-prefixed frames
+(:mod:`repro.network.asyncio_runtime.framing`); this module defines what
+a frame's payload looks like.  Every message starts with a fixed
+envelope header::
+
+    magic (4 bytes, b"RSWP") | version (1 byte) | kind (1 byte) | body
+
+The magic rejects garbage frames (a stray client, a corrupted stream)
+before any body parsing; the version byte is the compatibility tag — a
+worker built against a different wire version is *rejected at decode
+time* (:class:`WireVersionError`), which the coordinator's handshake
+turns into an explicit REJECT reply so the operator sees why the worker
+never picked up work.
+
+Message kinds::
+
+    worker → coordinator        coordinator → worker
+    --------------------        --------------------
+    HELLO                       WELCOME   (handshake accepted)
+    RESULT(index, result)       REJECT(reason)
+    ERROR(index, message)       TASK(index, spec)
+    HEARTBEAT(index)            SHUTDOWN  (sweep finished)
+
+``index`` is the cell's position in the coordinator's sweep, echoed back
+so a late result cannot be attributed to the wrong cell after a requeue.
+Spec/result bodies use :mod:`repro.scenarios.serialize`; decoding
+failures of any layer surface as :class:`WireError` so connection
+handlers have exactly one exception family to treat as "this peer is
+broken".
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.errors import ReproError
+from repro.scenarios.engine import ScenarioResult
+from repro.scenarios.serialize import (
+    SerializationError,
+    dumps_result,
+    dumps_spec,
+    loads_result,
+    loads_spec,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: Rejects frames that are not sweep-protocol messages at all.
+WIRE_MAGIC = b"RSWP"
+
+#: Bump on any incompatible change to the envelope or the bodies.
+WIRE_VERSION = 1
+
+_HEADER_LEN = len(WIRE_MAGIC) + 2
+_INDEX = struct.Struct(">I")
+
+# -- message kinds ------------------------------------------------------
+HELLO = 0x01
+WELCOME = 0x02
+REJECT = 0x03
+TASK = 0x10
+RESULT = 0x11
+ERROR = 0x12
+HEARTBEAT = 0x20
+SHUTDOWN = 0x21
+
+_KINDS = (HELLO, WELCOME, REJECT, TASK, RESULT, ERROR, HEARTBEAT, SHUTDOWN)
+
+KIND_NAMES = {
+    HELLO: "HELLO",
+    WELCOME: "WELCOME",
+    REJECT: "REJECT",
+    TASK: "TASK",
+    RESULT: "RESULT",
+    ERROR: "ERROR",
+    HEARTBEAT: "HEARTBEAT",
+    SHUTDOWN: "SHUTDOWN",
+}
+
+
+class WireError(ReproError):
+    """A frame is not a valid sweep-protocol message."""
+
+
+class WireVersionError(WireError):
+    """A well-formed message from an incompatible wire version."""
+
+    def __init__(self, version: int) -> None:
+        super().__init__(
+            f"peer speaks wire version {version}, this build speaks {WIRE_VERSION}"
+        )
+        self.version = version
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+def encode_envelope(kind: int, body: bytes = b"") -> bytes:
+    """One tagged message: header + body."""
+    if kind not in _KINDS:
+        raise WireError(f"unknown message kind {kind:#x}")
+    return WIRE_MAGIC + bytes((WIRE_VERSION, kind)) + body
+
+
+def decode_envelope(frame: bytes) -> tuple:
+    """Split a frame into ``(kind, body)``.
+
+    Raises :class:`WireVersionError` for a well-formed envelope of a
+    different version (the handshake's rejection signal) and plain
+    :class:`WireError` for everything else that is not a sweep message.
+    """
+    if len(frame) < _HEADER_LEN:
+        raise WireError(f"frame of {len(frame)} bytes is shorter than the header")
+    if frame[: len(WIRE_MAGIC)] != WIRE_MAGIC:
+        raise WireError("bad magic: not a sweep-protocol frame")
+    version = frame[len(WIRE_MAGIC)]
+    if version != WIRE_VERSION:
+        raise WireVersionError(version)
+    kind = frame[len(WIRE_MAGIC) + 1]
+    if kind not in _KINDS:
+        raise WireError(f"unknown message kind {kind:#x}")
+    return kind, frame[_HEADER_LEN:]
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+def encode_hello() -> bytes:
+    return encode_envelope(HELLO)
+
+
+def encode_welcome() -> bytes:
+    return encode_envelope(WELCOME)
+
+
+def encode_reject(reason: str) -> bytes:
+    return encode_envelope(REJECT, reason.encode("utf-8"))
+
+
+def decode_reject(body: bytes) -> str:
+    return body.decode("utf-8", errors="replace")
+
+
+def encode_shutdown() -> bytes:
+    return encode_envelope(SHUTDOWN)
+
+
+def encode_task(index: int, spec: ScenarioSpec) -> bytes:
+    return encode_envelope(TASK, _INDEX.pack(index) + dumps_spec(spec))
+
+
+def decode_task(body: bytes) -> tuple:
+    """``(index, spec)`` of a TASK body."""
+    index, payload = _split_index(body)
+    try:
+        return index, loads_spec(payload)
+    except SerializationError as exc:
+        raise WireError(str(exc)) from exc
+
+
+def encode_result(index: int, result: ScenarioResult) -> bytes:
+    return encode_envelope(RESULT, _INDEX.pack(index) + dumps_result(result))
+
+
+def decode_result(body: bytes) -> tuple:
+    """``(index, result)`` of a RESULT body."""
+    index, payload = _split_index(body)
+    try:
+        return index, loads_result(payload)
+    except SerializationError as exc:
+        raise WireError(str(exc)) from exc
+
+
+def encode_error(index: int, message: str) -> bytes:
+    return encode_envelope(ERROR, _INDEX.pack(index) + message.encode("utf-8"))
+
+
+def decode_error(body: bytes) -> tuple:
+    """``(index, message)`` of an ERROR body."""
+    index, payload = _split_index(body)
+    return index, payload.decode("utf-8", errors="replace")
+
+
+def encode_heartbeat(index: int) -> bytes:
+    return encode_envelope(HEARTBEAT, _INDEX.pack(index))
+
+
+def decode_heartbeat(body: bytes) -> int:
+    index, _ = _split_index(body)
+    return index
+
+
+def _split_index(body: bytes) -> tuple:
+    if len(body) < _INDEX.size:
+        raise WireError(f"message body of {len(body)} bytes has no cell index")
+    (index,) = _INDEX.unpack_from(body)
+    return index, body[_INDEX.size :]
+
+
+__all__ = [
+    "WIRE_MAGIC",
+    "WIRE_VERSION",
+    "HELLO",
+    "WELCOME",
+    "REJECT",
+    "TASK",
+    "RESULT",
+    "ERROR",
+    "HEARTBEAT",
+    "SHUTDOWN",
+    "KIND_NAMES",
+    "WireError",
+    "WireVersionError",
+    "encode_envelope",
+    "decode_envelope",
+    "encode_hello",
+    "encode_welcome",
+    "encode_reject",
+    "decode_reject",
+    "encode_shutdown",
+    "encode_task",
+    "decode_task",
+    "encode_result",
+    "decode_result",
+    "encode_error",
+    "decode_error",
+    "encode_heartbeat",
+    "decode_heartbeat",
+]

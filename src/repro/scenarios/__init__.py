@@ -48,6 +48,13 @@ from repro.scenarios.engine import (
 from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
 from repro.scenarios.grid import expand_grid, seed_cells
 from repro.scenarios.placement import PLACEMENT_STRATEGIES, place_adversaries
+from repro.scenarios.serialize import (
+    SerializationError,
+    dumps_result,
+    dumps_spec,
+    loads_result,
+    loads_spec,
+)
 from repro.scenarios.spec import (
     BACKEND_NAMES,
     AdversarySpec,
@@ -92,4 +99,10 @@ __all__ = [
     "ConformanceReport",
     "verdict_of",
     "run_conformance",
+    # wire serialization
+    "SerializationError",
+    "dumps_spec",
+    "loads_spec",
+    "dumps_result",
+    "loads_result",
 ]

@@ -1,0 +1,86 @@
+"""Wire (de)serialization of scenario specs and results.
+
+The distributed sweep executor ships :class:`ScenarioSpec` cells to
+worker hosts and gets :class:`ScenarioResult` snapshots back; both
+travel as pickled payloads inside tagged wire envelopes (see
+:mod:`repro.runner.wire`).  Pickle is the right tool here — specs embed
+:class:`~repro.core.modifications.ModificationSet` and fault-event
+dataclasses, and results carry full :class:`~repro.metrics.collector.RunMetrics`
+snapshots — but raw ``pickle.loads`` turns a corrupt frame into an
+arbitrary exception (or an arbitrary object).  These helpers pin the
+failure mode instead:
+
+* any unpickling problem — truncated payload, garbage bytes, a payload
+  produced by an incompatible code version — raises
+  :class:`SerializationError`;
+* a payload that unpickles into the *wrong type* also raises
+  :class:`SerializationError`, so a transposed message kind cannot leak
+  a spec where a result is expected (or vice versa).
+
+Trust model: the sweep protocol links the operator's own coordinator and
+worker processes (the authenticated-channel assumption the node runtime
+already makes); the validation here is about corruption and version
+skew, not about sandboxing hostile pickles.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core.errors import ReproError
+from repro.scenarios.engine import ScenarioResult
+from repro.scenarios.spec import ScenarioSpec
+
+
+class SerializationError(ReproError):
+    """A spec or result payload could not be (de)serialized."""
+
+
+def dumps_spec(spec: ScenarioSpec) -> bytes:
+    """Serialize one spec for the wire."""
+    if not isinstance(spec, ScenarioSpec):
+        raise SerializationError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+    return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_spec(payload: bytes) -> ScenarioSpec:
+    """Deserialize a spec payload, validating its type."""
+    return _loads(payload, ScenarioSpec)
+
+
+def dumps_result(result: ScenarioResult) -> bytes:
+    """Serialize one result for the wire."""
+    if not isinstance(result, ScenarioResult):
+        raise SerializationError(
+            f"expected a ScenarioResult, got {type(result).__name__}"
+        )
+    return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def loads_result(payload: bytes) -> ScenarioResult:
+    """Deserialize a result payload, validating its type."""
+    return _loads(payload, ScenarioResult)
+
+
+def _loads(payload: bytes, expected: type):
+    try:
+        value = pickle.loads(payload)
+    except Exception as exc:
+        raise SerializationError(
+            f"cannot deserialize {expected.__name__} payload: {exc!r}"
+        ) from exc
+    if not isinstance(value, expected):
+        raise SerializationError(
+            f"payload deserialized to {type(value).__name__}, "
+            f"expected {expected.__name__}"
+        )
+    return value
+
+
+__all__ = [
+    "SerializationError",
+    "dumps_spec",
+    "loads_spec",
+    "dumps_result",
+    "loads_result",
+]

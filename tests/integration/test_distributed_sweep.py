@@ -1,0 +1,312 @@
+"""Integration tests of the distributed sweep executor.
+
+The contract under test: whatever happens to the worker fleet — clean
+runs, a worker killed mid-cell, a worker that goes silent past its
+lease, an incompatible worker, or no workers at all — a sweep of
+simulation cells terminates with results identical to
+``SweepExecutor(workers=1)`` on the same cells, in cell order.
+
+The worker-subprocess tests exercise the real ``repro-sweep-worker``
+code path (spawned via ``launch_local_workers``); the in-process tests
+drive :func:`run_worker` as asyncio tasks over real localhost sockets so
+they stay fast enough for the default lane.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.network.asyncio_runtime.framing import read_frame, write_frame
+from repro.runner import wire
+from repro.runner.distributed import DistributedSweepExecutor, run_worker, worker_main
+from repro.runner.parallel import SweepExecutor
+from repro.scenarios import ScenarioSpec, TopologySpec, expand_grid
+
+
+def build_cells(count, *, n=10, k=5, f=1, base_seed=50):
+    base = ScenarioSpec(
+        name="distributed-sweep",
+        topology=TopologySpec(kind="random_regular", n=n, k=k, min_connectivity=2 * f + 1),
+        f=f,
+        seed=base_seed,
+    )
+    cells = expand_grid(base, {"seed": range(base_seed, base_seed + count)})
+    assert len(cells) == count
+    return cells
+
+
+def summaries(results):
+    """Canonical bytes of each result's deterministic summary."""
+    return [json.dumps(r.summary(), sort_keys=True).encode() for r in results]
+
+
+async def start_sweep(executor, cells):
+    """Start ``run_async`` and wait until the coordinator is listening.
+
+    Waits on the run task *and* the started event together so a startup
+    failure (port bind, fd limit) surfaces as the real exception instead
+    of hanging the test on ``started.wait()`` until pytest-timeout.
+    """
+    run_task = asyncio.create_task(executor.run_async(cells))
+    started = asyncio.create_task(executor.started.wait())
+    await asyncio.wait({run_task, started}, return_when=asyncio.FIRST_COMPLETED)
+    if not started.done():
+        started.cancel()
+        run_task.result()  # raises the startup failure
+    return run_task
+
+
+def run_with_inprocess_workers(executor, cells, worker_count, **worker_kwargs):
+    """Drive a sweep with ``worker_count`` in-process workers over TCP."""
+
+    async def go():
+        run_task = await start_sweep(executor, cells)
+        workers = [
+            asyncio.create_task(
+                run_worker("127.0.0.1", executor.port, **worker_kwargs)
+            )
+            for _ in range(worker_count)
+        ]
+        results = await run_task
+        computed = await asyncio.gather(*workers)
+        return results, computed
+
+    return asyncio.run(go())
+
+
+# ----------------------------------------------------------------------
+# Clean distributed runs
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_subprocess_sweep_matches_serial_executor(tmp_path):
+    """≥ 20 cells over 2 real worker processes == the serial path."""
+    cells = build_cells(20, n=16, k=7, f=2)
+    serial = SweepExecutor(workers=1).run(cells)
+
+    executor = DistributedSweepExecutor(
+        workers=2, cache_dir=tmp_path / "cache", lease_timeout_s=60.0
+    )
+    distributed = executor.run(cells)
+
+    assert distributed == serial
+    assert summaries(distributed) == summaries(serial)
+    # Order preservation: results come back in cell order.
+    assert [r.spec for r in distributed] == list(cells)
+    assert executor.cache_hits == 0
+    assert executor.completed_cells == len(cells)
+    # Everything ran on the fleet, nothing degraded to the coordinator.
+    assert executor.locally_executed == 0
+
+    # A second sweep over the shared cache directory is pure cache hits.
+    again = DistributedSweepExecutor(workers=0, cache_dir=tmp_path / "cache")
+    assert again.run(cells) == serial
+    assert again.cache_hits == len(cells)
+
+
+def test_inprocess_workers_match_serial_executor(tmp_path):
+    cells = build_cells(8)
+    serial = SweepExecutor(workers=1).run(cells)
+    executor = DistributedSweepExecutor(cache_dir=tmp_path)
+    results, computed = run_with_inprocess_workers(executor, cells, 2)
+    assert results == serial
+    assert summaries(results) == summaries(serial)
+    assert sum(computed) == len(cells)
+    assert executor.dispatched_cells == len(cells)
+
+
+def test_precached_cells_are_never_dispatched(tmp_path):
+    cells = build_cells(6)
+    serial = SweepExecutor(workers=1, cache_dir=tmp_path).run(cells[:4])
+
+    executor = DistributedSweepExecutor(cache_dir=tmp_path)
+    results, computed = run_with_inprocess_workers(executor, cells, 2)
+    assert executor.cache_hits == 4
+    assert sum(computed) == 2
+    assert executor.dispatched_cells == 2
+    assert results[:4] == serial
+    assert results == SweepExecutor(workers=1).run(cells)
+
+
+# ----------------------------------------------------------------------
+# Fault injection against the coordinator itself
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_killed_worker_mid_sweep_requeues_and_completes(tmp_path):
+    """Kill a worker subprocess mid-sweep: the coordinator requeues its
+    in-flight cell, the surviving worker finishes the sweep, and the
+    results still equal a serial run."""
+    cells = build_cells(20, n=20, k=9, f=2)  # ~0.2 s/cell: the sweep
+    serial = SweepExecutor(workers=1).run(cells)  # outlives the kill
+
+    executor = DistributedSweepExecutor(
+        workers=2, cache_dir=tmp_path / "cache", lease_timeout_s=60.0
+    )
+    box = {}
+
+    def sweep():
+        box["results"] = executor.run(cells)
+
+    thread = threading.Thread(target=sweep)
+    thread.start()
+    try:
+        # Wait for the fleet to make progress, then kill one worker
+        # while cells are still being dispatched.
+        deadline = time.monotonic() + 60.0
+        while executor.completed_cells < 2:
+            assert time.monotonic() < deadline, "sweep never made progress"
+            assert thread.is_alive(), "sweep finished before the kill"
+            time.sleep(0.02)
+        assert len(executor.worker_processes) == 2
+        executor.worker_processes[0].kill()
+    finally:
+        thread.join(timeout=120.0)
+    assert not thread.is_alive(), "sweep did not terminate after the kill"
+
+    assert box["results"] == serial
+    assert summaries(box["results"]) == summaries(serial)
+    # The killed worker's in-flight cell went back on the queue.
+    assert executor.requeued_cells >= 1
+    assert executor.completed_cells == len(cells)
+
+
+def test_silent_worker_lease_expires_and_cell_degrades_locally():
+    """A worker that accepts a cell and then goes silent: the lease
+    expires without a heartbeat, the retry budget (0) is exhausted, and
+    the coordinator executes the cell itself."""
+    cells = build_cells(1)
+    serial = SweepExecutor(workers=1).run(cells)
+
+    async def go():
+        executor = DistributedSweepExecutor(
+            lease_timeout_s=0.5,
+            retry_budget=0,
+            worker_wait_s=30.0,
+        )
+        run_task = await start_sweep(executor, cells)
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", executor.port)
+        write_frame(writer, wire.encode_hello())
+        await writer.drain()
+        kind, _ = wire.decode_envelope(await read_frame(reader))
+        assert kind == wire.WELCOME
+        kind, body = wire.decode_envelope(await read_frame(reader))
+        assert kind == wire.TASK
+        index, spec = wire.decode_task(body)
+        assert (index, spec) == (0, cells[0])
+        # ... and never answer: no heartbeat, no result.
+        results = await run_task
+        writer.close()
+        return executor, results
+
+    executor, results = asyncio.run(go())
+    assert results == serial
+    assert executor.requeued_cells == 1
+    assert executor.locally_executed == 1
+
+
+def test_cell_error_requeues_without_dropping_the_worker():
+    """A worker whose cell *execution* raises reports ERROR; the
+    coordinator requeues the cell on the same, still-healthy connection
+    instead of tearing it down — one failing cell must not shrink the
+    fleet."""
+    cells = build_cells(1)
+    (serial_result,) = SweepExecutor(workers=1).run(cells)
+
+    async def go():
+        executor = DistributedSweepExecutor(retry_budget=1, worker_wait_s=30.0)
+        run_task = await start_sweep(executor, cells)
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", executor.port)
+        write_frame(writer, wire.encode_hello())
+        await writer.drain()
+        kind, _ = wire.decode_envelope(await read_frame(reader))
+        assert kind == wire.WELCOME
+        kind, body = wire.decode_envelope(await read_frame(reader))
+        assert kind == wire.TASK
+        index, _ = wire.decode_task(body)
+        write_frame(writer, wire.encode_error(index, "transient failure"))
+        await writer.drain()
+        # The requeued cell comes back on the *same* connection.
+        kind, body = wire.decode_envelope(await read_frame(reader))
+        assert kind == wire.TASK
+        retry_index, retry_spec = wire.decode_task(body)
+        assert (retry_index, retry_spec) == (index, cells[0])
+        write_frame(writer, wire.encode_result(index, serial_result))
+        await writer.drain()
+        results = await run_task
+        writer.close()
+        return executor, results
+
+    executor, results = asyncio.run(go())
+    assert results == [serial_result]
+    assert executor.requeued_cells == 1
+    assert executor.locally_executed == 0
+    assert executor.dispatched_cells == 2
+
+
+def test_zero_workers_degrades_to_local_execution(tmp_path):
+    cells = build_cells(5)
+    serial = SweepExecutor(workers=1).run(cells)
+    executor = DistributedSweepExecutor(
+        cache_dir=tmp_path, worker_wait_s=0.3
+    )
+    results = executor.run(cells)
+    assert results == serial
+    assert executor.locally_executed == len(cells)
+    assert executor.dispatched_cells == 0
+
+
+def test_local_fallback_disabled_aborts_instead(tmp_path):
+    from repro.core.errors import RuntimeAbort
+
+    executor = DistributedSweepExecutor(
+        worker_wait_s=0.2, local_fallback=False
+    )
+    with pytest.raises(RuntimeAbort):
+        executor.run(build_cells(2))
+
+
+def test_incompatible_worker_is_rejected_at_handshake():
+    """A worker speaking a different wire version gets an explicit
+    REJECT reply and never receives work; the sweep still finishes."""
+    cells = build_cells(2)
+    serial = SweepExecutor(workers=1).run(cells)
+
+    async def go():
+        executor = DistributedSweepExecutor(worker_wait_s=0.4)
+        run_task = await start_sweep(executor, cells)
+
+        reader, writer = await asyncio.open_connection("127.0.0.1", executor.port)
+        bad_hello = wire.WIRE_MAGIC + bytes((wire.WIRE_VERSION + 1, wire.HELLO))
+        write_frame(writer, bad_hello)
+        await writer.drain()
+        kind, body = wire.decode_envelope(await read_frame(reader))
+        writer.close()
+        results = await run_task
+        return executor, results, kind, wire.decode_reject(body)
+
+    executor, results, kind, reason = asyncio.run(go())
+    assert kind == wire.REJECT
+    assert "version" in reason
+    assert executor.rejected_workers == 1
+    assert executor.dispatched_cells == 0
+    assert results == serial
+
+
+# ----------------------------------------------------------------------
+# Worker CLI
+# ----------------------------------------------------------------------
+def test_worker_cli_rejects_malformed_address():
+    with pytest.raises(SystemExit):
+        worker_main(["--connect", "no-port-here"])
+
+
+def test_worker_cli_reports_unreachable_coordinator():
+    # Port 1 is never listening; a single dial attempt fails fast.
+    code = worker_main(
+        ["--connect", "127.0.0.1:1", "--connect-attempts", "1"]
+    )
+    assert code == 3

@@ -1,0 +1,129 @@
+"""Property-based tests of the distributed sweep executor.
+
+For random cell sets, worker counts and pre-populated cache subsets, a
+distributed sweep over localhost workers must return results byte-equal
+to ``SweepExecutor(workers=1)`` for simulation cells, in cell order —
+the same determinism contract the multiprocessing pool guarantees,
+survived by a TCP hop, wire (de)serialization and cache coordination.
+
+Workers run in-process (:func:`run_worker` as asyncio tasks) but speak
+the full wire protocol over real localhost sockets, so every example
+covers handshake, task dispatch, result framing and cache writes.
+"""
+
+import asyncio
+import json
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.runner.cache import ResultCache
+from repro.runner.distributed import DistributedSweepExecutor, run_worker
+from repro.runner.parallel import SweepExecutor
+from repro.scenarios import AdversarySpec, ScenarioSpec, TopologySpec
+
+
+@st.composite
+def sweep_setups(draw):
+    """(cells, worker_count, precached mask) for one distributed sweep."""
+    count = draw(st.integers(min_value=1, max_value=6))
+    worker_count = draw(st.integers(min_value=1, max_value=3))
+    f = draw(st.integers(min_value=0, max_value=1))
+    adversaries = (
+        (AdversarySpec(behaviour=draw(st.sampled_from(("mute", "forge"))), count=1),)
+        if f and draw(st.booleans())
+        else ()
+    )
+    base = ScenarioSpec(
+        name="distributed-property",
+        topology=TopologySpec(
+            kind="random_regular", n=8, k=4, min_connectivity=2 * f + 1
+        ),
+        f=f,
+        adversaries=adversaries,
+        seed=0,
+    )
+    seeds = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=5000),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        )
+    )
+    cells = [base.with_seed(seed) for seed in seeds]
+    precached = draw(st.lists(st.booleans(), min_size=count, max_size=count))
+    return cells, worker_count, precached
+
+
+def canonical(results):
+    return [json.dumps(r.summary(), sort_keys=True).encode() for r in results]
+
+
+@pytest.mark.slow
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(setup=sweep_setups())
+def test_distributed_sweep_equals_serial_sweep(setup):
+    cells, worker_count, precached = setup
+    serial = SweepExecutor(workers=1).run(cells)
+
+    with tempfile.TemporaryDirectory() as cache_dir:
+        cache = ResultCache(cache_dir)
+        expected_hits = 0
+        for result, hit in zip(serial, precached):
+            if hit:
+                cache.store(result)
+                expected_hits += 1
+
+        async def go():
+            executor = DistributedSweepExecutor(
+                cache_dir=cache_dir, worker_wait_s=30.0
+            )
+            run_task = asyncio.create_task(executor.run_async(cells))
+            # Surface startup failures instead of hanging on started.wait.
+            started = asyncio.create_task(executor.started.wait())
+            await asyncio.wait(
+                {run_task, started}, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not started.done():
+                started.cancel()
+                run_task.result()
+            workers = [
+                asyncio.create_task(
+                    run_worker(
+                        "127.0.0.1",
+                        executor.port,
+                        connect_attempts=4,
+                        connect_delay_s=0.1,
+                    )
+                )
+                for _ in range(worker_count)
+            ]
+            results = await run_task
+            # A fully pre-cached sweep can finish before the workers
+            # even dial in; those workers see a closed port, which is a
+            # normal way for a sweep to be over.
+            computed = [
+                0 if isinstance(count, ConnectionError) else count
+                for count in await asyncio.gather(*workers, return_exceptions=True)
+            ]
+            return executor, results, computed
+
+        executor, results, computed = asyncio.run(go())
+
+    # Byte-equal to the serial path, in cell order.
+    assert results == serial
+    assert canonical(results) == canonical(serial)
+    assert [r.spec for r in results] == cells
+    # Pre-populated cache entries were served, not re-dispatched.
+    assert executor.cache_hits == expected_hits
+    assert executor.dispatched_cells <= len(cells) - expected_hits
+    assert sum(computed) == len(cells) - expected_hits
+    # completed_cells counts live completions; initial cache hits are
+    # reported separately as cache_hits.
+    assert executor.completed_cells == len(cells) - expected_hits

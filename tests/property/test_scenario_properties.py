@@ -62,9 +62,14 @@ def connected_scenarios(draw):
     adversaries = ()
     count = draw(st.integers(min_value=0, max_value=f))
     if count:
+        behaviour = draw(st.sampled_from(BEHAVIOURS))
+        if behaviour == "equivocate":
+            # Equivocation only acts at the broadcasting source; the
+            # engine rejects count > 1 by design (see place_byzantine).
+            count = 1
         adversaries = (
             AdversarySpec(
-                behaviour=draw(st.sampled_from(BEHAVIOURS)),
+                behaviour=behaviour,
                 count=count,
                 placement=draw(st.sampled_from(PLACEMENTS)),
             ),

@@ -1,0 +1,110 @@
+"""Unit tests of the shared scenario-hash result cache.
+
+The load path must be impossible to poison: any entry that is not
+*exactly* a current-version record, produced by the requesting cell's
+backend, holding a result whose spec equals the requesting spec,
+degrades to a re-run.  The cross-backend collision case is a regression
+test: the pre-refactor executor verified the cached spec but trusted the
+record about which backend executed it, so a crafted (or misplaced)
+entry could satisfy a simulation cell with output labeled as another
+backend's.
+"""
+
+import pickle
+
+import pytest
+
+from repro.runner.cache import CACHE_VERSION, ResultCache, partition_cached
+from repro.runner.parallel import SweepExecutor
+from repro.scenarios import ScenarioSpec, TopologySpec, run_scenario
+
+
+@pytest.fixture()
+def spec():
+    return ScenarioSpec(
+        name="cache-test",
+        topology=TopologySpec(kind="complete", n=4),
+        f=0,
+        seed=23,
+    )
+
+
+@pytest.fixture()
+def result(spec):
+    return run_scenario(spec)
+
+
+def test_store_load_round_trip(tmp_path, spec, result):
+    cache = ResultCache(tmp_path)
+    assert cache.load(spec) is None
+    cache.store(result)
+    assert cache.load(spec) == result
+
+
+def test_disabled_cache_is_a_no_op(spec, result):
+    cache = ResultCache(None)
+    assert not cache.enabled
+    cache.store(result)
+    assert cache.load(spec) is None
+    assert cache.path_for(spec) is None
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path, spec, result):
+    cache = ResultCache(tmp_path)
+    cache.store(result)
+    cache.path_for(spec).write_bytes(b"not a pickle")
+    assert cache.load(spec) is None
+
+
+def test_stale_version_degrades_to_miss(tmp_path, spec, result):
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # A pre-v3 record has a two-element layout without the backend tag.
+    path.write_bytes(pickle.dumps((CACHE_VERSION - 1, result)))
+    assert cache.load(spec) is None
+
+
+def test_hash_collision_spec_mismatch_degrades_to_miss(tmp_path, spec, result):
+    cache = ResultCache(tmp_path)
+    cache.store(result)
+    other = spec.with_seed(spec.seed + 1)
+    # Simulate a hash collision: the other spec's slot holds this
+    # result.  Loading must notice the spec mismatch and re-run.
+    cache.path_for(spec).rename(cache.path_for(other))
+    assert cache.load(other) is None
+
+
+def test_cross_backend_collision_is_rejected(tmp_path, spec, result):
+    """Regression: a record executed by another backend must not hit.
+
+    The record claims ``asyncio`` execution while the stored result's
+    spec still matches the requesting simulation cell — exactly the
+    crafted collision the old spec-only check accepted.
+    """
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(pickle.dumps((CACHE_VERSION, "asyncio", result)))
+    assert spec.backend == "simulation"
+    assert cache.load(spec) is None
+
+    # The executor consequently re-runs the cell instead of trusting it.
+    executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+    (rerun,) = executor.run([spec])
+    assert executor.cache_hits == 0
+    assert rerun == result
+    # ... and the re-run repaired the slot with an honest record.
+    assert cache.load(spec) == result
+    assert executor.run([spec]) == [rerun]
+    assert executor.cache_hits == 1
+
+
+def test_partition_cached_splits_hits_and_pending(tmp_path, spec, result):
+    cache = ResultCache(tmp_path)
+    cache.store(result)
+    other = spec.with_seed(spec.seed + 1)
+    results, pending, hits = partition_cached([other, spec, other], cache)
+    assert results == [None, result, None]
+    assert pending == [0, 2]
+    assert hits == 1
