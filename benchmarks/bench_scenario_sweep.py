@@ -6,6 +6,9 @@ process pool with ``workers > 1``, once over TCP-connected worker
 processes via :class:`~repro.runner.distributed.DistributedSweepExecutor`
 — verifies all paths agree cell by cell, and reports the aggregate
 impact of the adversary placements on latency and network consumption.
+A second pass times a sensor-style multi-broadcast workload
+(:meth:`WorkloadSpec.repeated`) and records the delivered-broadcast
+throughput next to the single-shot numbers.
 
 This is the harness every later scaling PR plugs new workloads into; the
 serial/parallel/distributed agreement check doubles as a continuous
@@ -18,7 +21,14 @@ from dataclasses import replace
 from repro.core.modifications import ModificationSet
 from repro.runner.distributed import DistributedSweepExecutor
 from repro.runner.parallel import SweepExecutor
-from repro.scenarios import AdversarySpec, DelaySpec, ScenarioSpec, TopologySpec, expand_grid
+from repro.scenarios import (
+    AdversarySpec,
+    DelaySpec,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    expand_grid,
+)
 
 from benchmarks.common import (
     current_scale,
@@ -119,6 +129,42 @@ def test_scenario_sweep_parallel_executor(benchmark):
 
     # Safety holds in every cell: ≤ f Byzantine on a (2f+1)-connected graph.
     assert all(r.agreement_holds and r.validity_holds for r in parallel)
+
+    # Multi-broadcast throughput: the same base scenario under a
+    # sensor-style repeated workload, timed through the parallel
+    # executor.  Rides the same CI artifact as the single-shot sweep so
+    # the throughput trajectory is tracked per commit.
+    base = cells[0]
+    broadcasts = 5 if SCALE.name == "default" else 10
+    workload_cells = [
+        replace(cell, name="scenario-sweep-workload", adversaries=()).with_workload(
+            WorkloadSpec.repeated(0, broadcasts, interval_ms=40.0)
+        )
+        for cell in expand_grid(base, {"seed": range(17, 17 + max(3, SCALE.runs))})
+    ]
+    started = time.perf_counter()
+    workload_results = SweepExecutor(workers=workers).run(workload_cells)
+    workload_seconds = time.perf_counter() - started
+    assert all(r.broadcast_count == broadcasts for r in workload_results)
+    assert all(r.agreement_holds and r.validity_holds for r in workload_results)
+    throughput = mean_or_none(
+        [r.throughput_dps for r in workload_results if r.throughput_dps is not None]
+    )
+    workload_latency = mean_or_none(
+        [
+            latency
+            for r in workload_results
+            for latency in r.broadcast_latencies
+            if latency is not None
+        ]
+    )
+    emit(
+        f"workload mode: {len(workload_cells)} cells × {broadcasts} broadcasts "
+        f"in {workload_seconds:.2f}s | "
+        f"throughput {throughput:.1f} delivered-broadcasts/s (simulated) | "
+        f"mean per-broadcast latency {workload_latency:.1f} ms"
+    )
+
     # CI uploads this record as a per-commit artifact; the backend is
     # part of it so sweeps on other execution backends (spec.backend)
     # stay distinguishable in the perf trajectory.
@@ -135,6 +181,16 @@ def test_scenario_sweep_parallel_executor(benchmark):
                 "seconds": distributed_seconds,
                 "dispatched_cells": distributed_executor.dispatched_cells,
                 "requeued_cells": distributed_executor.requeued_cells,
+            },
+            "workload": {
+                "cells": len(workload_cells),
+                "broadcasts_per_cell": broadcasts,
+                "seconds": workload_seconds,
+                "mean_throughput_dps": throughput,
+                "mean_broadcast_latency_ms": workload_latency,
+                "delivered_broadcasts": sum(
+                    r.delivered_broadcast_count for r in workload_results
+                ),
             },
             "summary": summary,
         },

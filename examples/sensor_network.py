@@ -1,88 +1,77 @@
 #!/usr/bin/env python3
-"""Sensor network: repeatable broadcasts with Byzantine sensors.
+"""Sensor network: declarative repeated broadcasts with Byzantine sensors.
 
 The paper motivates repeatable broadcasts with sensing applications
 (Sec. 5): a sensor periodically re-broadcasts readings — possibly the
 exact same payload — distinguished by a monotonically increasing
-broadcast identifier.  This example simulates a 16-node sensor mesh
-(a torus grid, 4-connected, so f = 1 is tolerated), in which:
+broadcast identifier.  This example expresses that as a declarative
+multi-broadcast :class:`WorkloadSpec` on a 16-node sensor mesh (a torus
+grid, 4-connected, so f = 1 is tolerated):
 
-* every sensor broadcasts three temperature readings;
-* one sensor is mute (crashed) and another tampers with the paths of the
-  messages it relays;
-* each correct node maintains the latest reading of every sensor from
-  the BRB deliveries and the example prints the resulting, consistent
-  monitoring table.
+* three sensors each report three readings, interleaved round-robin at a
+  fixed interval (``WorkloadSpec.round_robin``);
+* one sensor is mute and the scenario engine places it deterministically;
+* the run freezes one :class:`BroadcastOutcome` per reading — its own
+  delivery set, latency and safety verdicts — plus run-level throughput
+  in delivered broadcasts per (simulated) second.
 
-Run with:  python examples/sensor_network.py
+Run with:  PYTHONPATH=src python examples/sensor_network.py
 """
 
-from collections import defaultdict
-
 from repro import (
-    CrossLayerBrachaDolev,
-    FixedDelay,
+    AdversarySpec,
+    DelaySpec,
     ModificationSet,
-    SimulatedNetwork,
-    SystemConfig,
-    torus_topology,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    run_scenario,
 )
-from repro.network.adversary import MuteProcess, PathForgingRelay
-
-
-def reading(sensor: int, round_index: int) -> bytes:
-    temperature = 18.0 + (sensor * 7 + round_index * 3) % 10
-    return f"sensor={sensor};round={round_index};temp={temperature:.1f}C".encode()
 
 
 def main() -> None:
-    rows, cols, f = 4, 4, 1
-    topology = torus_topology(rows, cols)
-    config = SystemConfig.for_system(rows * cols, f)
-    mods = ModificationSet.latency_and_bandwidth_optimized()
-
-    mute_sensor, forging_sensor = 5, 10
-    protocols = {}
-    for pid in topology.nodes:
-        neighbors = sorted(topology.neighbors(pid))
-        if pid == mute_sensor:
-            protocols[pid] = MuteProcess(pid, neighbors)
-        elif pid == forging_sensor:
-            inner = CrossLayerBrachaDolev(pid, config, neighbors, modifications=mods)
-            protocols[pid] = PathForgingRelay(inner, config, seed=7)
-        else:
-            protocols[pid] = CrossLayerBrachaDolev(pid, config, neighbors, modifications=mods)
-
-    # Application state: per observer, the latest reading of each sensor.
-    latest = defaultdict(dict)
-
-    def on_deliver(pid, event, time):
-        latest[pid][event.source] = (event.bid, event.payload.decode())
-
-    network = SimulatedNetwork(
-        topology, protocols, delay_model=FixedDelay(20.0), seed=3, on_deliver=on_deliver
+    scenario = ScenarioSpec(
+        name="sensor-mesh",
+        topology=TopologySpec(kind="torus", rows=4, cols=4),
+        delay=DelaySpec(kind="fixed", mean_ms=20.0),
+        protocol="cross_layer",
+        modifications=ModificationSet.latency_and_bandwidth_optimized(),
+        f=1,
+        payload_size=24,
+        seed=3,
+        adversaries=(AdversarySpec(behaviour="mute", count=1, placement="random"),),
+        # Sensors 1, 6 and 11 take turns reporting: nine readings, one
+        # every 60 simulated ms, with per-source increasing broadcast
+        # identifiers and distinct payload seeds per reading.
+        workload=WorkloadSpec.round_robin([1, 6, 11], 9, interval_ms=60.0),
     )
 
-    for round_index in range(3):
-        for sensor in topology.nodes:
-            if sensor == mute_sensor:
-                continue  # the crashed sensor never reports
-            network.broadcast(sensor, reading(sensor, round_index), bid=round_index)
-    metrics = network.run()
+    result = run_scenario(scenario)
 
-    observer = 0
-    print(f"Monitoring table as seen by node {observer}:")
-    for sensor in sorted(latest[observer]):
-        bid, text = latest[observer][sensor]
-        print(f"  sensor {sensor:>2} (last broadcast id {bid}): {text}")
+    print(f"Sensor mesh: {result.topology_name}, Byzantine: {dict(result.byzantine)}")
+    print(f"{result.broadcast_count} readings broadcast, "
+          f"{result.delivered_broadcast_count} fully delivered\n")
 
-    # All correct observers agree on every sensor's latest reading.
-    correct = [p for p in topology.nodes if p not in (mute_sensor,)]
-    reference = latest[observer]
-    consistent = all(latest[pid] == reference for pid in correct if pid in latest)
-    print(f"\nAll correct nodes agree on the monitoring table: {consistent}")
-    print(f"Total messages: {metrics.message_count}, bytes: {metrics.total_bytes / 1000:.1f} kB")
-    print(f"Missing sensors (crashed): {sorted(set(topology.nodes) - set(reference))}")
+    print("per-reading outcomes:")
+    for outcome in result.outcomes:
+        latency = (
+            f"{outcome.latency_ms:6.1f} ms" if outcome.latency_ms is not None else "   n/a"
+        )
+        verdict = "ok" if outcome.all_correct_delivered else "PARTIAL"
+        print(
+            f"  sensor {outcome.source:>2} reading {outcome.bid} "
+            f"(t={outcome.start_time_ms:5.0f} ms): latency {latency} | "
+            f"delivered by {len(outcome.delivered_processes)} nodes | {verdict}"
+        )
+
+    stats = result.latency_distribution()
+    print(f"\nlatency distribution over {stats['count']} delivered readings: "
+          f"min {stats['min_ms']:.1f} / mean {stats['mean_ms']:.1f} / "
+          f"max {stats['max_ms']:.1f} ms")
+    print(f"throughput: {result.throughput_dps:.1f} delivered readings per simulated second")
+    print(f"safety: agreement={result.agreement_holds} validity={result.validity_holds}")
+    print(f"traffic: {result.message_count} messages, "
+          f"{result.total_bytes / 1000:.1f} kB")
 
 
 if __name__ == "__main__":

@@ -48,6 +48,8 @@ from repro.runner.parallel import SweepExecutor, run_sweep
 from repro.scenarios import (
     AdversarySpec,
     AsyncioBackend,
+    BroadcastOutcome,
+    BroadcastSpec,
     ConformanceReport,
     CrashAt,
     DelayedStart,
@@ -58,6 +60,7 @@ from repro.scenarios import (
     ScenarioSpec,
     SimulationBackend,
     TopologySpec,
+    WorkloadSpec,
     expand_grid,
     get_backend,
     run_conformance,
@@ -122,10 +125,13 @@ __all__ = [
     "TopologySpec",
     "DelaySpec",
     "AdversarySpec",
+    "BroadcastSpec",
+    "WorkloadSpec",
     "CrashAt",
     "LinkDropWindow",
     "DelayedStart",
     "ScenarioResult",
+    "BroadcastOutcome",
     "run_scenario",
     "expand_grid",
     "seed_cells",

@@ -61,14 +61,20 @@ class RunMetrics:
 
         Returns ``None`` when at least one of the processes did not
         deliver, mirroring the paper's definition of latency as the time
-        for *all correct processes* to deliver.
+        for *all correct processes* to deliver.  An empty ``processes``
+        (every process Byzantine or crashed) also returns ``None``: the
+        measurement is undefined, not a 0 ms delivery.
         """
         latest = start_time
+        observed_any = False
         for pid in processes:
             time = self.delivery_times.get((pid, key))
             if time is None:
                 return None
+            observed_any = True
             latest = max(latest, time)
+        if not observed_any:
+            return None
         return latest - start_time
 
     def delivering_processes(self, key: BroadcastKey) -> Tuple[int, ...]:

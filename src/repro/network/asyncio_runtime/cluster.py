@@ -196,15 +196,37 @@ class AsyncioCluster:
         """Broadcast ``payload`` from ``source``."""
         await self.nodes[source].broadcast(payload, bid)
 
+    async def _gather_node_waits(self, wait, processes: Optional[List[int]]) -> bool:
+        """Run one per-node wait coroutine over the listed processes."""
+        targets = processes if processes is not None else list(self.nodes)
+        results = await asyncio.gather(*(wait(self.nodes[pid]) for pid in targets))
+        return all(results)
+
     async def wait_for_all_deliveries(
         self, *, count: int = 1, timeout: float = 30.0, processes: Optional[List[int]] = None
     ) -> bool:
         """Wait until every listed process delivered ``count`` broadcasts."""
-        targets = processes if processes is not None else list(self.nodes)
-        results = await asyncio.gather(
-            *(self.nodes[pid].wait_for_delivery(count, timeout) for pid in targets)
+        return await self._gather_node_waits(
+            lambda node: node.wait_for_delivery(count, timeout), processes
         )
-        return all(results)
+
+    async def wait_for_deliveries_of(
+        self,
+        keys: Iterable[Tuple[int, int]],
+        *,
+        timeout: float = 30.0,
+        processes: Optional[List[int]] = None,
+    ) -> bool:
+        """Wait until every listed process delivered every key in ``keys``.
+
+        Per-broadcast totality: the scenario backend waits on the
+        workload's exact ``(source, bid)`` keys, so an unscheduled
+        delivery cannot satisfy the wait in place of a scheduled one.
+        """
+        keys = list(keys)
+        return await self._gather_node_waits(
+            lambda node: node.wait_for_delivery_of(keys, timeout), processes
+        )
 
     def delivered_payloads(self, pid: int) -> List[bytes]:
         """Payloads delivered by process ``pid`` so far."""

@@ -419,11 +419,11 @@ class AsyncioNode:
         except ConnectionError:
             self._writers.pop(dest, None)
 
-    async def wait_for_delivery(self, count: int = 1, timeout: float = 30.0) -> bool:
-        """Wait until at least ``count`` deliveries happened."""
+    async def _wait_for_deliveries(self, satisfied, timeout: float) -> bool:
+        """Wait until ``satisfied()`` is true, re-checking on every delivery."""
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
-        while len(self.deliveries) < count:
+        while not satisfied():
             remaining = deadline - loop.time()
             if remaining <= 0:
                 return False
@@ -433,6 +433,27 @@ class AsyncioNode:
             except asyncio.TimeoutError:
                 return False
         return True
+
+    async def wait_for_delivery(self, count: int = 1, timeout: float = 30.0) -> bool:
+        """Wait until at least ``count`` deliveries happened."""
+        return await self._wait_for_deliveries(
+            lambda: len(self.deliveries) >= count, timeout
+        )
+
+    async def wait_for_delivery_of(
+        self, keys: Iterable[Tuple[int, int]], timeout: float = 30.0
+    ) -> bool:
+        """Wait until this node delivered every ``(source, bid)`` in ``keys``.
+
+        Per-key waiting, unlike the count of :meth:`wait_for_delivery`:
+        a delivery of an *unscheduled* broadcast (e.g. one a Byzantine
+        node forged into existence) never satisfies the wait in place of
+        a scheduled one.
+        """
+        wanted = set(keys)
+        return await self._wait_for_deliveries(
+            lambda: wanted <= {(d.source, d.bid) for d in self.deliveries}, timeout
+        )
 
 
 __all__ = ["AsyncioNode"]

@@ -223,6 +223,26 @@ class SimulatedNetwork:
             return
         self._execute_commands(pid, protocol.broadcast(payload, bid))
 
+    def broadcast_at(self, pid: int, payload: bytes, bid: int, time_ms: float) -> None:
+        """Schedule a broadcast by ``pid`` at absolute simulated ``time_ms``.
+
+        A past (or current) timestamp broadcasts immediately; otherwise
+        the initiation is queued on the scheduler, so sensor-style
+        workloads interleave with in-flight traffic of earlier
+        broadcasts.  Crash and dormancy semantics are those of
+        :meth:`broadcast` evaluated at initiation time — a source that
+        crashed before ``time_ms`` never broadcasts.
+        """
+        self.start()
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot broadcast from unknown process {pid}")
+        if time_ms <= self.scheduler.now:
+            self.broadcast(pid, payload, bid)
+        else:
+            self.scheduler.schedule_at(
+                time_ms, lambda: self.broadcast(pid, payload, bid)
+            )
+
     def run(
         self,
         *,

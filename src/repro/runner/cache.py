@@ -41,7 +41,11 @@ from repro.scenarios.spec import ScenarioSpec
 #: Bump when the pickled record layout changes to invalidate stale caches.
 #: v2: ScenarioSpec grew the ``backend`` field.
 #: v3: the record carries the executing backend, verified on load.
-CACHE_VERSION = 3
+#: v4: ScenarioSpec grew the ``workload`` field and ScenarioResult the
+#:     per-broadcast ``outcomes`` — pre-v4 records lack both and must
+#:     miss cleanly (the version check below runs before any attribute
+#:     of the stored result is touched).
+CACHE_VERSION = 4
 
 #: Disambiguates concurrent same-process writers of one cache slot
 #: (``next`` on a C-implemented counter is atomic under the GIL).
@@ -81,6 +85,10 @@ class ResultCache:
             # re-run, never to a failed sweep.
             return None
         if version != CACHE_VERSION or not isinstance(result, ScenarioResult):
+            # Older schema versions (e.g. a v3 record unpickled by a
+            # build whose ScenarioResult gained workload fields) are
+            # skipped *before* the stored result is inspected further —
+            # touching attributes of a stale-layout instance could raise.
             return None
         if backend != spec.backend:
             # Cross-backend collision: the entry was produced by another

@@ -50,7 +50,11 @@ from repro.scenarios.spec import ScenarioSpec
 WIRE_MAGIC = b"RSWP"
 
 #: Bump on any incompatible change to the envelope or the bodies.
-WIRE_VERSION = 1
+#: v2: spec/result bodies may embed workload classes (WorkloadSpec,
+#:     BroadcastSpec, BroadcastOutcome) that v1 builds cannot unpickle;
+#:     the handshake rejects a mixed-version coordinator/worker pair
+#:     up front instead of failing on the first workload task.
+WIRE_VERSION = 2
 
 _HEADER_LEN = len(WIRE_MAGIC) + 2
 _INDEX = struct.Struct(">I")

@@ -4,7 +4,9 @@ This package turns the ad-hoc experiment loops of the benchmarks into a
 composable scenario engine:
 
 * :mod:`repro.scenarios.spec` — pure-data specs describing a topology, a
-  delay regime, a protocol configuration and an adversary;
+  delay regime, a protocol configuration, an adversary and a broadcast
+  workload (:class:`~repro.scenarios.spec.WorkloadSpec`: one broadcast
+  by default, sensor-style repeated/round-robin schedules otherwise);
 * :mod:`repro.scenarios.placement` — strategies choosing *where* the
   Byzantine processes sit (random / max-degree / articulation-adjacent);
 * :mod:`repro.scenarios.faults` — timed fault events (crash-at-time,
@@ -12,7 +14,9 @@ composable scenario engine:
 * :mod:`repro.scenarios.grid` — cartesian expansion of a base spec into
   sweep cells;
 * :mod:`repro.scenarios.engine` — the runner producing a
-  :class:`~repro.scenarios.engine.ScenarioResult` per cell;
+  :class:`~repro.scenarios.engine.ScenarioResult` per cell, with one
+  :class:`~repro.scenarios.engine.BroadcastOutcome` per workload
+  broadcast and run-level throughput aggregates;
 * :mod:`repro.scenarios.backends` — pluggable execution backends: the
   deterministic discrete-event simulator and the asyncio TCP runtime
   (real sockets on localhost), selected per cell via ``spec.backend``;
@@ -33,14 +37,19 @@ from repro.scenarios.backends import (
 )
 from repro.scenarios.conformance import (
     BackendVerdict,
+    BroadcastVerdict,
     ConformanceReport,
+    broadcast_verdict_of,
     run_conformance,
     verdict_of,
 )
 from repro.scenarios.engine import (
+    BroadcastOutcome,
     ScenarioResult,
     build_network,
     build_protocols,
+    freeze_broadcast_outcome,
+    freeze_result,
     place_byzantine,
     run_scenario,
     simulate_scenario,
@@ -58,9 +67,11 @@ from repro.scenarios.serialize import (
 from repro.scenarios.spec import (
     BACKEND_NAMES,
     AdversarySpec,
+    BroadcastSpec,
     DelaySpec,
     ScenarioSpec,
     TopologySpec,
+    WorkloadSpec,
 )
 
 __all__ = [
@@ -69,6 +80,8 @@ __all__ = [
     "TopologySpec",
     "DelaySpec",
     "AdversarySpec",
+    "BroadcastSpec",
+    "WorkloadSpec",
     "BACKEND_NAMES",
     # faults
     "CrashAt",
@@ -83,11 +96,14 @@ __all__ = [
     "seed_cells",
     # engine
     "ScenarioResult",
+    "BroadcastOutcome",
     "run_scenario",
     "simulate_scenario",
     "build_network",
     "build_protocols",
     "place_byzantine",
+    "freeze_result",
+    "freeze_broadcast_outcome",
     # backends
     "ScenarioBackend",
     "SimulationBackend",
@@ -96,8 +112,10 @@ __all__ = [
     "get_backend",
     # conformance
     "BackendVerdict",
+    "BroadcastVerdict",
     "ConformanceReport",
     "verdict_of",
+    "broadcast_verdict_of",
     "run_conformance",
     # wire serialization
     "SerializationError",

@@ -24,7 +24,8 @@ ship:
                             at wall-clock ``t``
   ========================  =====================================
 
-  Simulated milliseconds map to wall-clock seconds through
+  Simulated milliseconds — fault timestamps and workload
+  ``start_time_ms`` values alike — map to wall-clock seconds through
   ``time_scale`` (default: 1 simulated ms = 1 real ms).  Timings in the
   result are wall-clock and therefore not reproducible; the
   delivery/safety verdicts are, and
@@ -55,7 +56,7 @@ from repro.scenarios.engine import (
     validate_topology,
 )
 from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
-from repro.scenarios.spec import BACKEND_NAMES, ScenarioSpec
+from repro.scenarios.spec import BACKEND_NAMES, BroadcastSpec, ScenarioSpec
 
 
 class ScenarioBackend(abc.ABC):
@@ -113,6 +114,15 @@ class DeferredStart:
 RuntimeAction = Union[NodeCrash, LinkDropFilter, DeferredStart]
 
 
+@dataclass(frozen=True)
+class ScheduledBroadcast:
+    """One workload broadcast on the wall clock: fire at ``at_s`` after the epoch."""
+
+    broadcast: BroadcastSpec
+    at_s: float
+    payload: bytes
+
+
 class AsyncioBackend(ScenarioBackend):
     """Runs a scenario on the asyncio TCP runtime (localhost sockets).
 
@@ -120,8 +130,8 @@ class AsyncioBackend(ScenarioBackend):
     ----------
     time_scale:
         Wall-clock seconds per simulated millisecond of the spec's fault
-        timestamps; the default ``1e-3`` keeps 1 simulated ms = 1 real
-        ms.
+        timestamps and workload start times; the default ``1e-3`` keeps
+        1 simulated ms = 1 real ms.
     delivery_timeout_s:
         How long to wait for every correct process to deliver before
         freezing a partial outcome (the verdicts then report the missing
@@ -192,6 +202,22 @@ class AsyncioBackend(ScenarioBackend):
                 )
         return actions
 
+    def plan_workload(self, spec: ScenarioSpec) -> List[ScheduledBroadcast]:
+        """Translate the spec's workload into a wall-clock broadcast schedule.
+
+        Pure and deterministic — the same canonical order the simulation
+        backend initiates broadcasts in, with ``start_time_ms`` scaled
+        through ``time_scale`` exactly like the fault timestamps.
+        """
+        return [
+            ScheduledBroadcast(
+                broadcast=broadcast,
+                at_s=self._scale(broadcast.start_time_ms),
+                payload=spec.payload_for(broadcast),
+            )
+            for broadcast in spec.broadcasts()
+        ]
+
     @staticmethod
     def arm(cluster: AsyncioCluster, actions: List[RuntimeAction]) -> None:
         """Install runtime actions on a built (not yet started) cluster.
@@ -230,7 +256,7 @@ class AsyncioBackend(ScenarioBackend):
         )
         self.arm(cluster, self.plan_faults(spec.faults))
 
-        payload = spec.payload()
+        schedule = self.plan_workload(spec)
         crashed = {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
         correct = [
             pid
@@ -240,15 +266,29 @@ class AsyncioBackend(ScenarioBackend):
         try:
             await cluster.start(connect_timeout=self.connect_timeout_s)
             cluster.open_epoch()
-            await cluster.broadcast(spec.source, payload, spec.bid)
-            # Wait for the verdict-relevant deliveries; a scenario whose
-            # faults prevent totality times out here and freezes the
-            # partial outcome instead of hanging.
-            await cluster.wait_for_all_deliveries(
-                count=1, timeout=self.delivery_timeout_s, processes=correct
+            loop = asyncio.get_running_loop()
+            # Replay the workload schedule on wall-clock timers: each
+            # broadcast fires at its (scaled) start time relative to the
+            # epoch, mirroring the simulator's schedule_at initiation.
+            for scheduled in schedule:
+                delay = cluster.epoch + scheduled.at_s - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                await cluster.broadcast(
+                    scheduled.broadcast.source,
+                    scheduled.payload,
+                    scheduled.broadcast.bid,
+                )
+            # Wait for the verdict-relevant deliveries — per broadcast
+            # key, so an unscheduled delivery never masks a scheduled
+            # one; a scenario whose faults prevent totality times out
+            # here and freezes the partial outcome instead of hanging.
+            await cluster.wait_for_deliveries_of(
+                [scheduled.broadcast.key for scheduled in schedule],
+                timeout=self.delivery_timeout_s,
+                processes=correct,
             )
             if cluster.epoch is not None:
-                loop = asyncio.get_running_loop()
                 collector.record_time((loop.time() - cluster.epoch) * 1000.0)
             dropped = cluster.dropped_messages
         finally:
@@ -260,7 +300,11 @@ class AsyncioBackend(ScenarioBackend):
             byzantine={pid: adv.behaviour for pid, adv in byzantine.items()},
             metrics=collector.snapshot(),
             dropped_messages=dropped,
-            payload=payload,
+            # Delivery timestamps are wall-clock ms relative to the
+            # epoch; nominal start times are simulated ms.  The factor
+            # maps the latter into the former so per-broadcast latency
+            # is measured in one domain whatever the time_scale.
+            start_time_factor=self.time_scale * 1000.0,
         )
 
 
@@ -291,6 +335,7 @@ __all__ = [
     "LinkDropFilter",
     "DeferredStart",
     "RuntimeAction",
+    "ScheduledBroadcast",
     "BACKENDS",
     "get_backend",
 ]

@@ -16,29 +16,76 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, List, Sequence, Tuple
 
-from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.engine import BroadcastOutcome, ScenarioResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
-class BackendVerdict:
-    """Timing-free delivery/safety projection of one scenario result."""
+class BroadcastVerdict:
+    """Timing-free delivery/safety projection of one broadcast outcome."""
 
-    correct_processes: Tuple[int, ...]
-    crashed: Tuple[int, ...]
-    byzantine: Tuple[Tuple[int, str], ...]
-    #: Correct processes that delivered the broadcast, sorted.
+    source: int
+    bid: int
+    #: Correct processes that delivered this broadcast, sorted.
     delivered_correct: Tuple[int, ...]
-    #: (pid, payload_hex) for every correct process that delivered.
+    #: (pid, payload_hex) for every correct process that delivered it.
     payloads: Tuple[Tuple[int, str], ...]
     all_correct_delivered: bool
     agreement_holds: bool
     validity_holds: bool
 
 
+@dataclass(frozen=True)
+class BackendVerdict:
+    """Timing-free delivery/safety projection of one scenario result.
+
+    The run-level fields describe the primary broadcast and the
+    aggregated predicates (every broadcast must satisfy them);
+    ``broadcasts`` carries one :class:`BroadcastVerdict` per workload
+    broadcast, sorted by ``(source, bid)``, so multi-broadcast workloads
+    are compared broadcast by broadcast.
+    """
+
+    correct_processes: Tuple[int, ...]
+    crashed: Tuple[int, ...]
+    byzantine: Tuple[Tuple[int, str], ...]
+    #: Correct processes that delivered the primary broadcast, sorted.
+    delivered_correct: Tuple[int, ...]
+    #: (pid, payload_hex) for every correct process that delivered it.
+    payloads: Tuple[Tuple[int, str], ...]
+    all_correct_delivered: bool
+    agreement_holds: bool
+    validity_holds: bool
+    #: Per-broadcast verdicts, sorted by (source, bid).
+    broadcasts: Tuple[BroadcastVerdict, ...] = ()
+
+
+def broadcast_verdict_of(
+    outcome: BroadcastOutcome, correct: frozenset
+) -> BroadcastVerdict:
+    """Project one broadcast outcome onto its comparable verdict fields."""
+    return BroadcastVerdict(
+        source=outcome.source,
+        bid=outcome.bid,
+        delivered_correct=tuple(
+            sorted(pid for pid in outcome.delivered_processes if pid in correct)
+        ),
+        payloads=tuple(
+            sorted(
+                (pid, payload)
+                for _, pid, _, _, payload in outcome.delivery_trace
+                if pid in correct
+            )
+        ),
+        all_correct_delivered=outcome.all_correct_delivered,
+        agreement_holds=outcome.agreement_holds,
+        validity_holds=outcome.validity_holds,
+    )
+
+
 def verdict_of(result: ScenarioResult) -> BackendVerdict:
     """Project a result onto the backend-comparable verdict fields."""
-    correct = set(result.correct_processes)
+    correct = frozenset(result.correct_processes)
     payloads = tuple(
         sorted(
             (pid, payload)
@@ -57,6 +104,9 @@ def verdict_of(result: ScenarioResult) -> BackendVerdict:
         all_correct_delivered=result.all_correct_delivered,
         agreement_holds=result.agreement_holds,
         validity_holds=result.validity_holds,
+        broadcasts=tuple(
+            broadcast_verdict_of(outcome, correct) for outcome in result.outcomes
+        ),
     )
 
 
@@ -123,8 +173,10 @@ def run_conformance(
 
 
 __all__ = [
+    "BroadcastVerdict",
     "BackendVerdict",
     "ConformanceReport",
+    "broadcast_verdict_of",
     "verdict_of",
     "run_conformance",
 ]

@@ -6,9 +6,11 @@ sweep executors share.  It dispatches on ``spec.backend`` to a
 ``"simulation"`` backend (:func:`simulate_scenario`, kept here) expands
 the spec into a topology, a set of protocol instances (with Byzantine
 behaviours placed by the spec's strategies) and a
-:class:`SimulatedNetwork` with the spec's fault events armed, runs one
-broadcast and freezes everything the evaluation needs into a
-:class:`ScenarioResult`.
+:class:`SimulatedNetwork` with the spec's fault events armed, runs the
+spec's broadcast workload (one broadcast by default, any
+:class:`~repro.scenarios.spec.WorkloadSpec` schedule otherwise) and
+freezes everything the evaluation needs into a :class:`ScenarioResult`
+with one :class:`BroadcastOutcome` per broadcast.
 
 Determinism contract (simulation backend): every random choice —
 topology generation, link delays, adversary placement, randomized
@@ -23,7 +25,7 @@ delivery/safety verdicts are comparable across runs (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector, RunMetrics
@@ -32,11 +34,39 @@ from repro.network.simulation.network import SimulatedNetwork
 from repro.runner.configs import protocol_factory, protocol_family
 from repro.scenarios.faults import CrashAt
 from repro.scenarios.placement import place_adversaries
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import BroadcastSpec, ScenarioSpec
 from repro.topology.generators import Topology
 
 #: Trace entry: (delivery time ms, process, source, bid, payload hex).
 TraceEntry = Tuple[float, int, int, int, str]
+
+
+@dataclass(frozen=True)
+class BroadcastOutcome:
+    """Deterministic outcome of one broadcast of a workload.
+
+    Latency and the delivery trace are relative to the scenario clock
+    (``latency_ms`` is measured from the broadcast's ``start_time_ms``);
+    the safety predicates are frozen at result time against the run's
+    correct/Byzantine sets, so outcomes travel the wire and compare
+    across backends without re-deriving context.
+    """
+
+    source: int
+    bid: int
+    start_time_ms: float
+    payload_hex: str
+    delivered_processes: Tuple[int, ...]
+    latency_ms: Optional[float]
+    delivery_trace: Tuple[TraceEntry, ...]
+    all_correct_delivered: bool
+    agreement_holds: bool
+    validity_holds: bool
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """The ``(source, bid)`` broadcast key."""
+        return (self.source, self.bid)
 
 
 @dataclass(frozen=True)
@@ -63,43 +93,99 @@ class ScenarioResult:
     payload_hex: str
     delivery_trace: Tuple[TraceEntry, ...]
     metrics: RunMetrics = field(compare=False, repr=False)
+    #: One outcome per workload broadcast, sorted by ``(source, bid)``.
+    #: Always non-empty: a legacy single-broadcast run has exactly one
+    #: outcome and the top-level delivery fields mirror it.
+    outcomes: Tuple[BroadcastOutcome, ...] = ()
 
     # ------------------------------------------------------------------
-    # Correctness predicates
+    # Correctness predicates (aggregated over every broadcast)
     # ------------------------------------------------------------------
     @property
     def all_correct_delivered(self) -> bool:
-        """BRB-Totality over the correct, non-crashed processes."""
-        return set(self.correct_processes) <= set(self.delivered_processes)
+        """BRB-Totality over the correct processes, for every broadcast."""
+        if not self.outcomes:
+            return set(self.correct_processes) <= set(self.delivered_processes)
+        return all(outcome.all_correct_delivered for outcome in self.outcomes)
 
     @property
     def agreement_holds(self) -> bool:
-        """No two correct processes delivered different payloads."""
-        payloads = {
-            payload
-            for _, pid, _, _, payload in self.delivery_trace
-            if pid in self.correct_processes
-        }
-        return len(payloads) <= 1
+        """No two correct processes delivered different payloads for a key."""
+        if not self.outcomes:
+            payloads = {
+                payload
+                for _, pid, _, _, payload in self.delivery_trace
+                if pid in self.correct_processes
+            }
+            return len(payloads) <= 1
+        return all(outcome.agreement_holds for outcome in self.outcomes)
 
     @property
     def validity_holds(self) -> bool:
-        """Correct processes only delivered the payload the source sent.
+        """Correct processes only delivered what each source sent.
 
-        Vacuously true when the source is Byzantine (BRB-Validity only
-        constrains broadcasts by correct sources).
+        Vacuously true for broadcasts whose source is Byzantine
+        (BRB-Validity only constrains broadcasts by correct sources).
         """
-        if any(pid == self.spec.source for pid, _ in self.byzantine):
-            return True
-        return all(
-            payload == self.payload_hex
-            for _, pid, _, _, payload in self.delivery_trace
-            if pid in self.correct_processes
-        )
+        if not self.outcomes:
+            if any(pid == self.spec.source for pid, _ in self.byzantine):
+                return True
+            return all(
+                payload == self.payload_hex
+                for _, pid, _, _, payload in self.delivery_trace
+                if pid in self.correct_processes
+            )
+        return all(outcome.validity_holds for outcome in self.outcomes)
+
+    # ------------------------------------------------------------------
+    # Workload aggregates
+    # ------------------------------------------------------------------
+    @property
+    def broadcast_count(self) -> int:
+        """Number of broadcasts the workload initiated."""
+        return len(self.outcomes)
+
+    @property
+    def delivered_broadcast_count(self) -> int:
+        """Broadcasts every correct process delivered (totality per key)."""
+        return sum(1 for outcome in self.outcomes if outcome.all_correct_delivered)
+
+    @property
+    def throughput_dps(self) -> Optional[float]:
+        """Fully delivered broadcasts per second of run time.
+
+        Simulated seconds on the simulation backend, wall-clock seconds
+        on the asyncio backend; ``None`` when the run recorded no time.
+        """
+        if self.metrics.end_time <= 0:
+            return None
+        return self.delivered_broadcast_count / (self.metrics.end_time / 1000.0)
+
+    @property
+    def broadcast_latencies(self) -> Tuple[Optional[float], ...]:
+        """Per-broadcast latency, in outcome order (``None`` = undelivered)."""
+        return tuple(outcome.latency_ms for outcome in self.outcomes)
+
+    def latency_distribution(self) -> Dict[str, Optional[float]]:
+        """Min/mean/max over the delivered broadcasts' latencies."""
+        observed = [latency for latency in self.broadcast_latencies if latency is not None]
+        if not observed:
+            return {"count": 0, "min_ms": None, "mean_ms": None, "max_ms": None}
+        return {
+            "count": len(observed),
+            "min_ms": min(observed),
+            "mean_ms": sum(observed) / len(observed),
+            "max_ms": max(observed),
+        }
 
     def summary(self) -> Dict[str, object]:
-        """JSON-serializable deterministic summary (golden-file format)."""
-        return {
+        """JSON-serializable deterministic summary (golden-file format).
+
+        The layout of a single-broadcast run is pinned byte-for-byte by
+        the golden files; workload runs add one extra ``"workload"``
+        section without touching the legacy keys.
+        """
+        summary: Dict[str, object] = {
             "scenario": self.spec.name,
             "hash": self.scenario_hash,
             "topology": self.topology_name,
@@ -115,6 +201,26 @@ class ScenarioResult:
             "bytes_by_type": dict(sorted(self.metrics.bytes_by_type.items())),
             "trace": [list(entry) for entry in self.delivery_trace],
         }
+        if self.spec.workload is not None:
+            summary["workload"] = {
+                "broadcasts": [
+                    {
+                        "source": outcome.source,
+                        "bid": outcome.bid,
+                        "start_time_ms": outcome.start_time_ms,
+                        "delivered": list(outcome.delivered_processes),
+                        "latency_ms": outcome.latency_ms,
+                        "all_correct_delivered": outcome.all_correct_delivered,
+                        "agreement_holds": outcome.agreement_holds,
+                        "validity_holds": outcome.validity_holds,
+                    }
+                    for outcome in self.outcomes
+                ],
+                "delivered_broadcasts": self.delivered_broadcast_count,
+                "throughput_dps": self.throughput_dps,
+                "latency_distribution": self.latency_distribution(),
+            }
+        return summary
 
 
 def place_byzantine(spec: ScenarioSpec, topology: Topology) -> Dict[int, object]:
@@ -188,10 +294,11 @@ def build_protocols(
 
 def validate_topology(spec: ScenarioSpec, topology: Topology) -> None:
     """Checks every backend applies to the expanded topology."""
-    if spec.source not in topology.adjacency:
-        raise ConfigurationError(
-            f"source {spec.source} is not a process of the topology"
-        )
+    for broadcast in spec.broadcasts():
+        if broadcast.source not in topology.adjacency:
+            raise ConfigurationError(
+                f"source {broadcast.source} is not a process of the topology"
+            )
     if spec.protocol == "bracha" and not topology.is_fully_connected():
         # Bracha's protocol assumes every pair of processes shares a
         # channel; on a partial graph it silently never delivers.
@@ -224,6 +331,58 @@ def build_network(spec: ScenarioSpec) -> Tuple[SimulatedNetwork, Dict[int, str]]
     return network, {pid: adv.behaviour for pid, adv in byzantine.items()}
 
 
+def freeze_broadcast_outcome(
+    broadcast: BroadcastSpec,
+    *,
+    payload: bytes,
+    metrics: RunMetrics,
+    byzantine: Dict[int, str],
+    correct: Tuple[int, ...],
+    trace: Optional[Tuple[TraceEntry, ...]] = None,
+    start_time_factor: float = 1.0,
+) -> BroadcastOutcome:
+    """Freeze one broadcast's observations into a :class:`BroadcastOutcome`.
+
+    ``trace`` optionally carries the broadcast's delivery trace when the
+    caller already grouped the run's deliveries by key (the engine does,
+    to avoid rescanning the full delivery map per broadcast); omitted,
+    it is filtered from ``metrics`` here.  ``start_time_factor`` maps
+    the broadcast's nominal ``start_time_ms`` into the domain of the
+    recorded delivery timestamps before latency is measured — 1.0 for
+    the simulation (both are simulated ms), ``time_scale * 1000`` for
+    the asyncio backend (timestamps are wall-clock ms).
+    """
+    key = broadcast.key
+    if trace is None:
+        trace = tuple(
+            (time, pid, bkey[0], bkey[1], metrics.delivered_payloads[(pid, bkey)].hex())
+            for (pid, bkey), time in metrics.delivery_times.items()
+            if bkey == key
+        )
+    delivered = tuple(sorted(entry[1] for entry in trace))
+    payload_hex = payload.hex()
+    correct_set = set(correct)
+    correct_payloads = {
+        entry[4] for entry in trace if entry[1] in correct_set
+    }
+    source_is_byzantine = broadcast.source in byzantine
+    return BroadcastOutcome(
+        source=broadcast.source,
+        bid=broadcast.bid,
+        start_time_ms=broadcast.start_time_ms,
+        payload_hex=payload_hex,
+        delivered_processes=delivered,
+        latency_ms=metrics.delivery_latency(
+            key, correct, start_time=broadcast.start_time_ms * start_time_factor
+        ),
+        delivery_trace=trace,
+        all_correct_delivered=correct_set <= set(delivered),
+        agreement_holds=len(correct_payloads) <= 1,
+        validity_holds=source_is_byzantine
+        or all(delivered_hex == payload_hex for delivered_hex in correct_payloads),
+    )
+
+
 def freeze_result(
     spec: ScenarioSpec,
     *,
@@ -231,7 +390,7 @@ def freeze_result(
     byzantine: Dict[int, str],
     metrics: RunMetrics,
     dropped_messages: int,
-    payload: bytes,
+    start_time_factor: float = 1.0,
 ) -> ScenarioResult:
     """Freeze one run's observations into a :class:`ScenarioResult`.
 
@@ -239,20 +398,50 @@ def freeze_result(
     timestamps, the asyncio backend wall-clock milliseconds relative to
     the broadcast epoch — the delivery/safety predicates read the same
     either way.
+
+    Fault precedence: a process that is both Byzantine and targeted by a
+    :class:`CrashAt` fault is reported as Byzantine only — the Byzantine
+    behaviour subsumes fail-silence, and one process must never appear
+    in both the ``byzantine`` and ``crashed`` sets.
     """
     crashed = tuple(
-        sorted({fault.pid for fault in spec.faults if isinstance(fault, CrashAt)})
+        sorted(
+            {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
+            - set(byzantine)
+        )
     )
     correct = tuple(
         pid
         for pid in topology.nodes
         if pid not in byzantine and pid not in crashed
     )
-    key = (spec.source, spec.bid)
-    trace = tuple(
-        (time, pid, bkey[0], bkey[1], metrics.delivered_payloads[(pid, bkey)].hex())
-        for (pid, bkey), time in metrics.delivery_times.items()
-        if bkey == key
+    # Group the run's deliveries by broadcast key in one pass (insertion
+    # order — delivery order — is preserved per key), so freezing stays
+    # linear in the number of deliveries however many broadcasts the
+    # workload holds.
+    traces_by_key: Dict[Tuple[int, int], List[TraceEntry]] = {}
+    for (pid, bkey), time in metrics.delivery_times.items():
+        traces_by_key.setdefault(bkey, []).append(
+            (time, pid, bkey[0], bkey[1], metrics.delivered_payloads[(pid, bkey)].hex())
+        )
+    outcomes = tuple(
+        freeze_broadcast_outcome(
+            broadcast,
+            payload=spec.payload_for(broadcast),
+            metrics=metrics,
+            byzantine=byzantine,
+            correct=correct,
+            trace=tuple(traces_by_key.get(broadcast.key, ())),
+            start_time_factor=start_time_factor,
+        )
+        for broadcast in sorted(spec.broadcasts(), key=lambda b: b.key)
+    )
+    # The top-level delivery fields mirror the primary broadcast — the
+    # spec's (source, bid) when the workload contains it, otherwise the
+    # first outcome — which for a legacy single-broadcast spec is
+    # exactly the pre-workload layout.
+    primary = next(
+        (o for o in outcomes if o.key == (spec.source, spec.bid)), outcomes[0]
     )
     return ScenarioResult(
         spec=spec,
@@ -261,22 +450,35 @@ def freeze_result(
         byzantine=tuple(sorted(byzantine.items())),
         crashed=crashed,
         correct_processes=correct,
-        delivered_processes=metrics.delivering_processes(key),
-        latency_ms=metrics.delivery_latency(key, correct),
+        delivered_processes=primary.delivered_processes,
+        latency_ms=primary.latency_ms,
         total_bytes=metrics.total_bytes,
         message_count=metrics.message_count,
         dropped_messages=dropped_messages,
-        payload_hex=payload.hex(),
-        delivery_trace=trace,
+        payload_hex=primary.payload_hex,
+        delivery_trace=primary.delivery_trace,
         metrics=metrics,
+        outcomes=outcomes,
     )
 
 
 def simulate_scenario(spec: ScenarioSpec) -> ScenarioResult:
-    """Run one scenario on the discrete-event simulator and freeze it."""
+    """Run one scenario on the discrete-event simulator and freeze it.
+
+    Workload broadcasts are initiated in canonical schedule order via
+    :meth:`SimulatedNetwork.broadcast_at`: time-0 broadcasts fire before
+    the event loop starts (the legacy single-broadcast path,
+    byte-identical to the pre-workload engine), later ones are scheduled
+    at their ``start_time_ms``.
+    """
     network, byzantine = build_network(spec)
-    payload = spec.payload()
-    network.broadcast(spec.source, payload, spec.bid)
+    for broadcast in spec.broadcasts():
+        network.broadcast_at(
+            broadcast.source,
+            spec.payload_for(broadcast),
+            broadcast.bid,
+            broadcast.start_time_ms,
+        )
     metrics = network.run(max_events=spec.max_events)
     return freeze_result(
         spec,
@@ -284,7 +486,6 @@ def simulate_scenario(spec: ScenarioSpec) -> ScenarioResult:
         byzantine=byzantine,
         metrics=metrics,
         dropped_messages=network.dropped_messages,
-        payload=payload,
     )
 
 
@@ -307,12 +508,14 @@ def run_scenario(spec: ScenarioSpec, backend=None) -> ScenarioResult:
 
 
 __all__ = [
+    "BroadcastOutcome",
     "ScenarioResult",
     "TraceEntry",
     "place_byzantine",
     "build_protocols",
     "build_network",
     "validate_topology",
+    "freeze_broadcast_outcome",
     "freeze_result",
     "simulate_scenario",
     "run_scenario",

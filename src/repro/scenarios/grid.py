@@ -5,6 +5,12 @@ spec fields either directly (``"seed"``, ``"payload_size"``) or through a
 dotted path into the nested specs (``"topology.n"``, ``"delay.kind"``),
 and cells are produced in deterministic row-major order — the order the
 sweep executors preserve in their results.
+
+Workloads are an axis like any other: ``expand_grid(base, {"workload":
+[None, WorkloadSpec.repeated(0, 5, 40.0)]})`` sweeps the same scenario
+over the single-broadcast form and a sensor-style repeated workload, and
+the scenario hash keeps their cache slots apart (a trivial workload
+normalizes to ``None`` and shares the legacy slot by design).
 """
 
 from __future__ import annotations

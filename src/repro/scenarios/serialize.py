@@ -4,9 +4,12 @@ The distributed sweep executor ships :class:`ScenarioSpec` cells to
 worker hosts and gets :class:`ScenarioResult` snapshots back; both
 travel as pickled payloads inside tagged wire envelopes (see
 :mod:`repro.runner.wire`).  Pickle is the right tool here — specs embed
-:class:`~repro.core.modifications.ModificationSet` and fault-event
-dataclasses, and results carry full :class:`~repro.metrics.collector.RunMetrics`
-snapshots — but raw ``pickle.loads`` turns a corrupt frame into an
+:class:`~repro.core.modifications.ModificationSet`, fault-event and
+workload (:class:`~repro.scenarios.spec.WorkloadSpec`) dataclasses, and
+results carry full :class:`~repro.metrics.collector.RunMetrics`
+snapshots plus per-broadcast
+:class:`~repro.scenarios.engine.BroadcastOutcome` tuples — but raw
+``pickle.loads`` turns a corrupt frame into an
 arbitrary exception (or an arbitrary object).  These helpers pin the
 failure mode instead:
 

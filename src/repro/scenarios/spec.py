@@ -1,11 +1,13 @@
 """Declarative scenario specifications.
 
 A :class:`ScenarioSpec` is a plain, hashable, picklable description of one
-simulated broadcast: which topology to generate, which delay regime the
-links follow, which protocol configuration runs on the correct processes,
-where the Byzantine processes sit (see
-:mod:`repro.scenarios.placement`), and which fault events fire during the
-run (see :mod:`repro.scenarios.faults`).
+simulated broadcast workload: which topology to generate, which delay
+regime the links follow, which protocol configuration runs on the correct
+processes, where the Byzantine processes sit (see
+:mod:`repro.scenarios.placement`), which fault events fire during the
+run (see :mod:`repro.scenarios.faults`), and which broadcasts the
+sources initiate (:class:`WorkloadSpec`; the default is the single
+broadcast described by ``source``/``bid``).
 
 Being pure data, specs can be expanded into grids
 (:mod:`repro.scenarios.grid`), shipped to worker processes by the
@@ -19,7 +21,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.errors import ConfigurationError
@@ -161,6 +163,170 @@ class AdversarySpec:
             raise ConfigurationError(f"count must be non-negative, got {self.count}")
 
 
+@dataclass(frozen=True)
+class BroadcastSpec:
+    """One broadcast of a workload.
+
+    ``source`` initiates broadcast identifier ``bid`` at absolute
+    scenario time ``start_time_ms`` (simulated milliseconds on the
+    simulation backend, scaled wall-clock on the asyncio backend).
+    ``payload_seed`` selects the deterministic payload the source sends:
+    seed 0 is the classic ``repro-scenario-`` pattern every
+    single-broadcast run uses, any other seed derives a distinct
+    ``payload_size``-byte payload (see :meth:`ScenarioSpec.payload_for`),
+    so repeated sensor readings can carry distinguishable content.
+    """
+
+    source: int = 0
+    bid: int = 0
+    payload_seed: int = 0
+    start_time_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_time_ms < 0:
+            raise ConfigurationError(
+                f"broadcast start time must be non-negative, got {self.start_time_ms}"
+            )
+
+    @property
+    def key(self) -> Tuple[int, int]:
+        """The ``(source, bid)`` broadcast key used by the metrics layer."""
+        return (self.source, self.bid)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A declarative list of broadcasts executed in one scenario run.
+
+    Broadcast keys ``(source, bid)`` must be unique — the metrics layer
+    accounts deliveries per key.  Schedule order is canonical: the
+    engine always initiates broadcasts sorted by
+    ``(start_time_ms, source, bid)``, so two workloads holding the same
+    broadcasts in different tuple order execute identically (their
+    scenario hashes still differ; prefer the generators below, which
+    emit sorted tuples).
+    """
+
+    broadcasts: Tuple[BroadcastSpec, ...] = (BroadcastSpec(),)
+
+    def __post_init__(self) -> None:
+        if not self.broadcasts:
+            raise ConfigurationError("a workload needs at least one broadcast")
+        keys = [b.key for b in self.broadcasts]
+        if len(set(keys)) != len(keys):
+            duplicates = sorted({key for key in keys if keys.count(key) > 1})
+            raise ConfigurationError(
+                f"duplicate broadcast keys (source, bid) in workload: {duplicates}"
+            )
+
+    # ------------------------------------------------------------------
+    # Generators
+    # ------------------------------------------------------------------
+    @classmethod
+    def single(cls, source: int = 0, bid: int = 0) -> "WorkloadSpec":
+        """The classic one-shot broadcast (equivalent to ``source``/``bid``)."""
+        return cls(broadcasts=(BroadcastSpec(source=source, bid=bid),))
+
+    @classmethod
+    def repeated(
+        cls,
+        source: int,
+        n: int,
+        interval_ms: float,
+        *,
+        start_ms: float = 0.0,
+        first_bid: int = 0,
+    ) -> "WorkloadSpec":
+        """Sensor-style workload: ``source`` broadcasts ``n`` times.
+
+        Broadcast ``i`` carries identifier ``first_bid + i`` and payload
+        seed ``i``, starting at ``start_ms + i * interval_ms``.
+        """
+        if n < 1:
+            raise ConfigurationError(f"repeated workload needs n >= 1, got {n}")
+        if interval_ms < 0:
+            raise ConfigurationError(
+                f"broadcast interval must be non-negative, got {interval_ms}"
+            )
+        return cls(
+            broadcasts=tuple(
+                BroadcastSpec(
+                    source=source,
+                    bid=first_bid + index,
+                    payload_seed=index,
+                    start_time_ms=start_ms + index * interval_ms,
+                )
+                for index in range(n)
+            )
+        )
+
+    @classmethod
+    def round_robin(
+        cls,
+        sources: Sequence[int],
+        n: int,
+        interval_ms: float = 0.0,
+        *,
+        start_ms: float = 0.0,
+    ) -> "WorkloadSpec":
+        """``n`` broadcasts cycling over ``sources`` (one every interval).
+
+        Broadcast ``i`` comes from ``sources[i % len(sources)]`` with a
+        per-source monotonically increasing identifier, mirroring a
+        sensor field where every node reports in turn.
+        """
+        sources = tuple(sources)
+        if not sources:
+            raise ConfigurationError("round_robin workload needs at least one source")
+        if len(set(sources)) != len(sources):
+            raise ConfigurationError(f"round_robin sources must be unique: {sources}")
+        if n < 1:
+            raise ConfigurationError(f"round_robin workload needs n >= 1, got {n}")
+        if interval_ms < 0:
+            raise ConfigurationError(
+                f"broadcast interval must be non-negative, got {interval_ms}"
+            )
+        return cls(
+            broadcasts=tuple(
+                BroadcastSpec(
+                    source=sources[index % len(sources)],
+                    bid=index // len(sources),
+                    payload_seed=index,
+                    start_time_ms=start_ms + index * interval_ms,
+                )
+                for index in range(n)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def schedule(self) -> Tuple[BroadcastSpec, ...]:
+        """The broadcasts in canonical initiation order."""
+        return tuple(
+            sorted(
+                self.broadcasts,
+                key=lambda b: (b.start_time_ms, b.source, b.bid),
+            )
+        )
+
+    @property
+    def is_trivial(self) -> bool:
+        """Whether this is exactly one classic time-0, seed-0 broadcast.
+
+        A trivial workload is indistinguishable from the legacy
+        ``source``/``bid`` single-broadcast form;
+        :class:`ScenarioSpec.__post_init__` normalizes it away so the
+        spec (and its scenario hash, and therefore its cache slot and
+        golden summaries) stays byte-identical to the pre-workload era.
+        """
+        return (
+            len(self.broadcasts) == 1
+            and self.broadcasts[0].payload_seed == 0
+            and self.broadcasts[0].start_time_ms == 0.0
+        )
+
+
 #: Names of the registered execution backends (see
 #: :mod:`repro.scenarios.backends`, which asserts it stays in sync).
 BACKEND_NAMES = ("simulation", "asyncio")
@@ -197,6 +363,11 @@ class ScenarioSpec:
     max_events: Optional[int] = 5_000_000
     shared_bandwidth_bps: Optional[float] = None
     backend: str = "simulation"
+    #: ``None`` means the legacy single broadcast ``(source, bid)``.  A
+    #: trivial workload (one time-0, seed-0 broadcast) is normalized to
+    #: ``None`` at construction, so it compares, hashes and caches
+    #: exactly like the equivalent pre-workload spec.
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self) -> None:
         requested = sum(spec.count for spec in self.adversaries)
@@ -208,6 +379,11 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
             )
+        if self.workload is not None and self.workload.is_trivial:
+            (broadcast,) = self.workload.broadcasts
+            object.__setattr__(self, "source", broadcast.source)
+            object.__setattr__(self, "bid", broadcast.bid)
+            object.__setattr__(self, "workload", None)
 
     # ------------------------------------------------------------------
     # Derived values
@@ -222,6 +398,37 @@ class ScenarioSpec:
         data = (pattern * (self.payload_size // len(pattern) + 1))[: self.payload_size]
         return data if data else b""
 
+    def broadcasts(self) -> Tuple[BroadcastSpec, ...]:
+        """The workload's broadcasts in canonical initiation order.
+
+        A legacy spec (``workload=None``) yields exactly one time-0
+        broadcast from ``source`` with identifier ``bid``.
+        """
+        if self.workload is None:
+            return (BroadcastSpec(source=self.source, bid=self.bid),)
+        return self.workload.schedule()
+
+    def payload_for(self, broadcast: BroadcastSpec) -> bytes:
+        """The deterministic payload ``broadcast`` carries.
+
+        Seed 0 is the classic :meth:`payload` pattern (so a trivial
+        workload's bytes match the legacy single-broadcast run); other
+        seeds stretch a seed-keyed SHA-256 stream to ``payload_size``.
+        """
+        if broadcast.payload_seed == 0:
+            return self.payload()
+        chunks = []
+        length = 0
+        counter = 0
+        while length < self.payload_size:
+            chunk = hashlib.sha256(
+                f"repro-workload-{broadcast.payload_seed}-{counter}".encode("utf-8")
+            ).digest()
+            chunks.append(chunk)
+            length += len(chunk)
+            counter += 1
+        return b"".join(chunks)[: self.payload_size]
+
     def with_seed(self, seed: int) -> "ScenarioSpec":
         """A copy of this scenario with a different seed."""
         return replace(self, seed=seed)
@@ -229,6 +436,10 @@ class ScenarioSpec:
     def with_backend(self, backend: str) -> "ScenarioSpec":
         """A copy of this scenario targeting a different execution backend."""
         return replace(self, backend=backend)
+
+    def with_workload(self, workload: Optional[WorkloadSpec]) -> "ScenarioSpec":
+        """A copy of this scenario running a different broadcast workload."""
+        return replace(self, workload=workload)
 
     def scenario_hash(self) -> str:
         """Stable hex digest identifying this scenario.
@@ -241,11 +452,18 @@ class ScenarioSpec:
         ``"simulation"`` is omitted from the canonical form so hashes of
         pre-backend specs stay valid (the golden files pin them; note
         the executor's pickle cache was still invalidated by its own
-        ``_CACHE_VERSION`` bump when this field was introduced).
+        ``_CACHE_VERSION`` bump when this field was introduced).  The
+        workload is part of the key the same way: a multi-broadcast cell
+        never shadows the single-broadcast cell of the same scenario,
+        while the legacy ``workload=None`` form (which every trivial
+        workload normalizes to) is omitted so pre-workload hashes stay
+        valid too.
         """
         fields_dict = _canonical(self)
         if fields_dict.get("backend") == "simulation":
             del fields_dict["backend"]
+        if fields_dict.get("workload") is None:
+            fields_dict.pop("workload", None)
         canonical = json.dumps(fields_dict, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -272,6 +490,8 @@ __all__ = [
     "TopologySpec",
     "DelaySpec",
     "AdversarySpec",
+    "BroadcastSpec",
+    "WorkloadSpec",
     "ScenarioSpec",
     "BACKEND_NAMES",
 ]

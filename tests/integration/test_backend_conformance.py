@@ -22,6 +22,7 @@ from repro.scenarios import (
     LinkDropWindow,
     ScenarioSpec,
     TopologySpec,
+    WorkloadSpec,
     expand_grid,
     run_conformance,
 )
@@ -111,6 +112,49 @@ class TestBackendConformance:
                 seed=13,
             )
         )
+
+
+class TestWorkloadConformance:
+    """Multi-broadcast workloads: per-broadcast verdicts must agree.
+
+    The verdict projection carries one :class:`BroadcastVerdict` per
+    workload broadcast, so any backend that drops, reorders or
+    mis-accounts a single broadcast of the schedule fails here even if
+    the aggregate predicates happen to match.
+    """
+
+    def test_repeated_workload(self):
+        spec = ScenarioSpec(
+            name="conformance-workload-repeated",
+            topology=TopologySpec(kind="harary", n=5, k=3),
+            f=1,
+            seed=17,
+            workload=WorkloadSpec.repeated(0, 3, interval_ms=30.0),
+        )
+        report = run_conformance(spec, overrides={"asyncio": FAST_ASYNCIO})
+        assert report.agree, f"backends disagree: {report.mismatches()}"
+        for _, verdict in report.verdicts:
+            assert len(verdict.broadcasts) == 3
+            assert all(b.all_correct_delivered for b in verdict.broadcasts)
+
+    def test_round_robin_workload_with_crash(self):
+        spec = ScenarioSpec(
+            name="conformance-workload-round-robin",
+            topology=TopologySpec(kind="harary", n=6, k=4),
+            f=1,
+            seed=19,
+            faults=(CrashAt(pid=5, time_ms=0.0),),
+            workload=WorkloadSpec.round_robin([0, 2], 4, interval_ms=25.0),
+        )
+        report = run_conformance(spec, overrides={"asyncio": FAST_ASYNCIO})
+        assert report.agree, f"backends disagree: {report.mismatches()}"
+        verdict = dict(report.verdicts)["simulation"]
+        assert [(b.source, b.bid) for b in verdict.broadcasts] == [
+            (0, 0),
+            (0, 1),
+            (2, 0),
+            (2, 1),
+        ]
 
 
 class TestSweepWithBackendAxis:

@@ -23,7 +23,7 @@ from repro.network.asyncio_runtime.framing import read_frame, write_frame
 from repro.runner import wire
 from repro.runner.distributed import DistributedSweepExecutor, run_worker, worker_main
 from repro.runner.parallel import SweepExecutor
-from repro.scenarios import ScenarioSpec, TopologySpec, expand_grid
+from repro.scenarios import ScenarioSpec, TopologySpec, WorkloadSpec, expand_grid
 
 
 def build_cells(count, *, n=10, k=5, f=1, base_seed=50):
@@ -104,6 +104,32 @@ def test_subprocess_sweep_matches_serial_executor(tmp_path):
     again = DistributedSweepExecutor(workers=0, cache_dir=tmp_path / "cache")
     assert again.run(cells) == serial
     assert again.cache_hits == len(cells)
+
+
+def test_workload_cells_round_trip_the_distributed_path(tmp_path):
+    """Multi-broadcast specs and per-broadcast outcomes survive the wire.
+
+    The workload rides inside the TASK pickle and the outcomes inside
+    the RESULT pickle; a distributed sweep over workload cells must
+    equal the serial path, per-broadcast outcomes included.
+    """
+    base = ScenarioSpec(
+        name="distributed-workload",
+        topology=TopologySpec(kind="harary", n=6, k=3),
+        f=1,
+        seed=9,
+        workload=WorkloadSpec.round_robin([0, 1], 4, interval_ms=20.0),
+    )
+    cells = expand_grid(base, {"seed": [9, 10, 11]})
+    serial = SweepExecutor(workers=1).run(cells)
+
+    executor = DistributedSweepExecutor(workers=2, cache_dir=tmp_path / "cache")
+    distributed = executor.run(cells)
+
+    assert distributed == serial
+    assert summaries(distributed) == summaries(serial)
+    assert all(r.broadcast_count == 4 for r in distributed)
+    assert [r.outcomes for r in distributed] == [r.outcomes for r in serial]
 
 
 def test_inprocess_workers_match_serial_executor(tmp_path):

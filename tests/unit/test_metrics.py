@@ -54,6 +54,16 @@ class TestCollector:
         assert snapshot.delivery_latency((0, 0), [0, 1]) == 12.0
         assert snapshot.delivery_latency((0, 0), [0, 1, 2]) is None
 
+    def test_delivery_latency_of_no_processes_is_undefined(self):
+        """Regression: an empty process set (everyone Byzantine or
+        crashed) must report None — an undefined measurement — rather
+        than a fabricated 0.0 ms latency."""
+        collector = MetricsCollector()
+        collector.record_delivery(5.0, 0, 0, 0, b"a")
+        snapshot = collector.snapshot()
+        assert snapshot.delivery_latency((0, 0), []) is None
+        assert snapshot.delivery_latency((0, 0), [], start_time=3.0) is None
+
     def test_deliveries_for_and_delivering_processes(self):
         collector = MetricsCollector()
         collector.record_delivery(1.0, 3, 0, 7, b"v")

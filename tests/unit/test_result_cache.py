@@ -61,8 +61,32 @@ def test_stale_version_degrades_to_miss(tmp_path, spec, result):
     path = cache.path_for(spec)
     path.parent.mkdir(parents=True, exist_ok=True)
     # A pre-v3 record has a two-element layout without the backend tag.
-    path.write_bytes(pickle.dumps((CACHE_VERSION - 1, result)))
+    path.write_bytes(pickle.dumps((2, result)))
     assert cache.load(spec) is None
+
+
+def test_v3_record_misses_cleanly(tmp_path, spec, result):
+    """Regression: a v3 record (pre-workload schema) must be skipped.
+
+    The stored result predates the ``outcomes`` field, so the loader
+    must reject it on the version tag alone — touching attributes of the
+    stale-layout instance could raise — and degrade to a clean re-run.
+    """
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Emulate the v3 layout: same 3-tuple shape, older version tag, and
+    # a result instance whose __dict__ lacks the workload-era fields.
+    stale = object.__new__(type(result))
+    state = dict(result.__dict__)
+    state.pop("outcomes", None)
+    stale.__dict__.update(state)
+    path.write_bytes(pickle.dumps((3, spec.backend, stale)))
+    assert cache.load(spec) is None
+
+    # The slot is repaired by an honest re-run.
+    cache.store(result)
+    assert cache.load(spec) == result
 
 
 def test_hash_collision_spec_mismatch_degrades_to_miss(tmp_path, spec, result):
