@@ -41,7 +41,13 @@ from repro.brb.dolev import DolevBroadcast, OptimizedDolevBroadcast
 from repro.brb.dolev_routed import RoutedDolevBroadcast
 from repro.brb.optimized import CrossLayerBrachaDolev
 from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.network.simulation.delays import AsynchronousDelay, FixedDelay, UniformDelay
+from repro.network.simulation.delays import (
+    AsynchronousDelay,
+    BurstyLossWindow,
+    FixedDelay,
+    LossyDelay,
+    UniformDelay,
+)
 from repro.network.simulation.network import SimulatedNetwork
 from repro.runner.experiment import ExperimentConfig, ExperimentResult, run_experiment
 from repro.runner.parallel import SweepExecutor, run_sweep
@@ -52,19 +58,27 @@ from repro.scenarios import (
     BroadcastSpec,
     ConformanceReport,
     CrashAt,
+    CrashWhen,
+    CutLinkWhen,
     DelayedStart,
     DelaySpec,
     LinkDropWindow,
+    ObservationFilter,
+    SafetyVerdict,
     ScenarioBackend,
     ScenarioResult,
     ScenarioSpec,
     SimulationBackend,
     TopologySpec,
+    TurnByzantineWhen,
     WorkloadSpec,
+    assert_safe,
+    check_result,
     expand_grid,
     get_backend,
     run_conformance,
     run_scenario,
+    sample_lossy_adaptive_specs,
     seed_cells,
 )
 from repro.topology.generators import (
@@ -114,6 +128,8 @@ __all__ = [
     "FixedDelay",
     "AsynchronousDelay",
     "UniformDelay",
+    "LossyDelay",
+    "BurstyLossWindow",
     "MetricsCollector",
     "RunMetrics",
     # experiments
@@ -130,6 +146,10 @@ __all__ = [
     "CrashAt",
     "LinkDropWindow",
     "DelayedStart",
+    "ObservationFilter",
+    "CrashWhen",
+    "TurnByzantineWhen",
+    "CutLinkWhen",
     "ScenarioResult",
     "BroadcastOutcome",
     "run_scenario",
@@ -143,5 +163,10 @@ __all__ = [
     "AsyncioBackend",
     "get_backend",
     "ConformanceReport",
+    "SafetyVerdict",
     "run_conformance",
+    # safety oracle
+    "assert_safe",
+    "check_result",
+    "sample_lossy_adaptive_specs",
 ]

@@ -9,6 +9,17 @@ class ConfigurationError(ReproError):
     """A protocol or experiment was configured with inconsistent parameters."""
 
 
+class SpecError(ConfigurationError):
+    """A declarative scenario spec is invalid at construction time.
+
+    Raised by the ``__post_init__`` validators of the scenario spec and
+    fault-event dataclasses, so a malformed spec fails where it is
+    written — not deep inside a sweep worker.  Subclasses
+    :class:`ConfigurationError`: callers catching the broader class keep
+    working.
+    """
+
+
 class TopologyError(ReproError):
     """A communication graph does not meet the protocol's requirements."""
 

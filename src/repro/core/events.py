@@ -56,6 +56,29 @@ class RCDeliver:
 Command = Union[SendTo, BRBDeliver, RCDeliver]
 
 
+@dataclass(frozen=True)
+class Observation:
+    """One protocol event observed by a hosting runtime.
+
+    Emitted by both runtimes to registered observers (the scenario
+    engine's adaptive-fault controller): ``kind`` is ``"send"`` for a
+    message put on a link and ``"deliver"`` for an application-level
+    delivery.  ``time_ms`` is simulated milliseconds on the simulation
+    runtime and epoch-relative wall-clock milliseconds on the asyncio
+    runtime.  Fields that do not apply to the event kind (``dest`` and
+    ``mtype`` for deliveries) or that the message does not carry are
+    ``None``.
+    """
+
+    kind: str
+    time_ms: float
+    pid: int
+    dest: Optional[int] = None
+    mtype: Optional[str] = None
+    source: Optional[int] = None
+    bid: Optional[int] = None
+
+
 def sends(commands) -> Tuple[SendTo, ...]:
     """Return only the :class:`SendTo` commands of a command list."""
     return tuple(c for c in commands if isinstance(c, SendTo))
@@ -66,4 +89,12 @@ def deliveries(commands) -> Tuple[Union[BRBDeliver, RCDeliver], ...]:
     return tuple(c for c in commands if isinstance(c, (BRBDeliver, RCDeliver)))
 
 
-__all__ = ["SendTo", "BRBDeliver", "RCDeliver", "Command", "sends", "deliveries"]
+__all__ = [
+    "SendTo",
+    "BRBDeliver",
+    "RCDeliver",
+    "Command",
+    "Observation",
+    "sends",
+    "deliveries",
+]

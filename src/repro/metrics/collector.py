@@ -167,7 +167,15 @@ class MetricsCollector:
         )
 
 
-def _message_type_name(message) -> str:
+def message_type_name(message) -> str:
+    """Canonical display name of a message's type.
+
+    This is the name the metric breakdowns key on and the one adaptive
+    fault filters (:class:`repro.scenarios.faults.ObservationFilter`)
+    match against — e.g. ``"ECHO"`` for a Bracha echo, ``"DOLEV[ECHO]"``
+    for the same message inside a Dolev envelope — so both runtimes
+    describe the same message identically.
+    """
     mtype = getattr(message, "mtype", None)
     if isinstance(mtype, MessageType):
         return mtype.name
@@ -180,4 +188,8 @@ def _message_type_name(message) -> str:
     return type(message).__name__
 
 
-__all__ = ["MetricsCollector", "RunMetrics", "BroadcastKey"]
+#: Backwards-compatible alias (the collector used this privately first).
+_message_type_name = message_type_name
+
+
+__all__ = ["MetricsCollector", "RunMetrics", "BroadcastKey", "message_type_name"]

@@ -158,6 +158,42 @@ class AsyncioCluster:
             (wake_s, lambda: self._spawn(node.wake()))
         )
 
+    def add_loss_filter(self, u: int, v: int, probability: float, seed: int) -> None:
+        """Lose messages on the ``{u, v}`` link with ``probability``.
+
+        Installed symmetrically as outgoing loss filters on both
+        endpoints; each direction draws from its own RNG derived from
+        ``seed``, mirroring the scenario engine's lossy delay models.
+        """
+        if not self.topology.has_edge(u, v):
+            raise ConfigurationError(f"no link between {u} and {v} to lose on")
+        self._node(u).add_loss_filter(v, probability, seed)
+        self._node(v).add_loss_filter(u, probability, seed ^ 0x5DEECE66D)
+
+    def add_periodic_drop_window(
+        self, u: int, v: int, period_s: float, burst_s: float, offset_s: float = 0.0
+    ) -> None:
+        """Lose messages on the ``{u, v}`` link during periodic bursts."""
+        if not self.topology.has_edge(u, v):
+            raise ConfigurationError(f"no link between {u} and {v} to drop")
+        self._node(u).add_periodic_drop_window(v, period_s, burst_s, offset_s)
+        self._node(v).add_periodic_drop_window(u, period_s, burst_s, offset_s)
+
+    def set_observer(self, observer) -> None:
+        """Feed every node's send/delivery observations to ``observer``."""
+        for node in self.nodes.values():
+            node.observer = observer
+
+    def replace_protocol(self, pid: int, protocol: object) -> None:
+        """Swap process ``pid``'s protocol instance mid-run."""
+        self._node(pid).replace_protocol(protocol)
+
+    def elapsed_s(self) -> float:
+        """Seconds since the epoch opened (0.0 before :meth:`open_epoch`)."""
+        if self.epoch is None:
+            return 0.0
+        return asyncio.get_running_loop().time() - self.epoch
+
     def open_epoch(self) -> None:
         """Anchor the time base and arm the pending timed actions.
 

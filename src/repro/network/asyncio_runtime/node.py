@@ -25,18 +25,27 @@ fault events into:
   simulator's delayed-start semantics;
 * :meth:`add_drop_window` — outgoing messages to one peer are dropped
   while the wall clock (relative to the cluster epoch) falls inside a
-  window, matching the simulator's link-drop windows.
+  window, matching the simulator's link-drop windows;
+* :meth:`add_loss_filter` / :meth:`add_periodic_drop_window` — the
+  connection-level mirrors of the scenario engine's lossy delay models:
+  outgoing messages to one peer are lost with a seeded probability, or
+  during periodic outage bursts;
+* :meth:`replace_protocol` — swap the hosted instance mid-run (adaptive
+  adversaries turning a process Byzantine);
+* an :attr:`observer` hook reporting every send/delivery as an
+  :class:`~repro.core.events.Observation`, feeding adaptive triggers.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+import random
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.core.encoding import decode_message, encode_message
 from repro.core.errors import RuntimeAbort
-from repro.core.events import BRBDeliver, Command, RCDeliver, SendTo
-from repro.metrics.collector import MetricsCollector
+from repro.core.events import BRBDeliver, Command, Observation, RCDeliver, SendTo
+from repro.metrics.collector import MetricsCollector, message_type_name
 from repro.network.asyncio_runtime.framing import (
     HELLO as _HELLO,
     FrameError,
@@ -94,7 +103,13 @@ class AsyncioNode:
         # peer -> [(start_s, end_s)] drop windows, relative to the epoch;
         # end_s is None for a window that never closes.
         self._drop_windows: Dict[int, List[Tuple[float, Optional[float]]]] = {}
-        #: Outgoing messages lost to drop windows.
+        # peer -> [predicate(elapsed_s) -> bool] generic drop filters
+        # (probabilistic loss, periodic bursts).
+        self._drop_filters: Dict[int, List[Callable[[float], bool]]] = {}
+        #: Observer of protocol events (sends/deliveries); set by the
+        #: scenario backend to feed adaptive adversaries.
+        self.observer: Optional[Callable[[Observation], None]] = None
+        #: Outgoing messages lost to drop windows or loss filters.
         self.dropped_messages = 0
         #: BRB deliveries observed by this node, as (source, bid, payload).
         self.deliveries: List[BRBDeliver] = []
@@ -243,10 +258,16 @@ class AsyncioNode:
         return asyncio.get_running_loop().time() - self._epoch
 
     def crash(self) -> None:
-        """Go fail-silent: never send again, ignore every future message."""
+        """Go fail-silent: never send again, ignore every future message.
+
+        Wakes any delivery waiter: a crashed process can never satisfy a
+        pending wait, so blocking on it until the timeout (e.g. after an
+        adaptive trigger crashed it mid-run) would only stall the run.
+        """
         self._crashed = True
         self._dormant_buffer.clear()
         self._pending_broadcasts.clear()
+        self.delivery_event.set()
 
     def delay_start(self) -> None:
         """Become dormant: buffer inbound messages until :meth:`wake`."""
@@ -265,17 +286,70 @@ class AsyncioNode:
         """
         self._drop_windows.setdefault(peer, []).append((start_s, end_s))
 
+    def add_loss_filter(self, peer: int, probability: float, seed: int) -> None:
+        """Lose outgoing messages to ``peer`` with ``probability``.
+
+        The connection-level mirror of the scenario engine's
+        :class:`~repro.network.simulation.delays.LossyDelay`: each
+        message is dropped independently, drawn from a ``seed``-keyed RNG
+        (the scenario backend derives the seed from the scenario hash,
+        so the drop sequence is fixed per scenario even though wall-clock
+        message ordering is not).
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must be within [0, 1], got {probability}")
+        rng = random.Random(seed)
+        self._drop_filters.setdefault(peer, []).append(
+            lambda _elapsed_s: rng.random() < probability
+        )
+
+    def add_periodic_drop_window(
+        self, peer: int, period_s: float, burst_s: float, offset_s: float = 0.0
+    ) -> None:
+        """Lose outgoing messages to ``peer`` during periodic bursts.
+
+        The connection-level mirror of
+        :class:`~repro.network.simulation.delays.BurstyLossWindow`:
+        every ``period_s`` the link is down for ``burst_s`` (times are
+        seconds relative to the cluster epoch).
+        """
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        if not 0.0 <= burst_s <= period_s:
+            raise ValueError(f"burst_s must be within [0, period_s], got {burst_s}")
+        self._drop_filters.setdefault(peer, []).append(
+            lambda elapsed_s: (elapsed_s - offset_s) % period_s < burst_s
+        )
+
     def link_dropped(self, peer: int, elapsed_s: Optional[float] = None) -> bool:
-        """Whether a message to ``peer`` at ``elapsed_s`` would be dropped."""
+        """Whether a message to ``peer`` at ``elapsed_s`` would be dropped.
+
+        Consults the timed drop windows first, then the generic filters
+        (probabilistic loss consumes one RNG draw per consulted message).
+        """
         windows = self._drop_windows.get(peer)
-        if not windows:
+        filters = self._drop_filters.get(peer)
+        if not windows and not filters:
             return False
         if elapsed_s is None:
             elapsed_s = self._elapsed_s()
-        return any(
+        if windows and any(
             start <= elapsed_s and (end is None or elapsed_s < end)
             for start, end in windows
+        ):
+            return True
+        return bool(filters) and any(
+            drop_filter(elapsed_s) for drop_filter in filters
         )
+
+    def replace_protocol(self, protocol: object) -> None:
+        """Swap the hosted protocol instance mid-run.
+
+        Used by adaptive adversaries to turn a (so far correct) process
+        Byzantine once a trigger fires; messages already written to the
+        sockets are not retracted.
+        """
+        self.protocol = protocol
 
     async def wake(self) -> None:
         """Wake a dormant process: run ``on_start`` and replay the buffer.
@@ -390,6 +464,19 @@ class AsyncioNode:
                 delivery.payload,
             )
         self.delivery_event.set()
+        self._notify(
+            Observation(
+                kind="deliver",
+                time_ms=self._elapsed_s() * 1000.0,
+                pid=self.process_id,
+                source=delivery.source,
+                bid=delivery.bid,
+            )
+        )
+
+    def _notify(self, observation: Observation) -> None:
+        if self.observer is not None:
+            self.observer(observation)
 
     async def _send(self, dest: int, message) -> None:
         if self._crashed:
@@ -398,32 +485,53 @@ class AsyncioNode:
             self.collector.record_send(
                 self._elapsed_s() * 1000.0, self.process_id, dest, message
             )
-        if self.link_dropped(dest):
+        dropped = self.link_dropped(dest)
+        if dropped:
             self.dropped_messages += 1
-            return
-        writer = self._writers.get(dest)
-        if writer is None:
-            return
-        frame = encode_message(message)
-        try:
-            write_frame(writer, frame)
-        except FrameError as exc:
-            # Outbound overflow is our own bug, not a peer disconnect:
-            # surface it instead of letting _read_loop's FrameError
-            # handling (meant for corrupt *inbound* prefixes) eat it.
-            raise RuntimeAbort(
-                f"outbound message to {dest} exceeds the frame cap: {exc}"
-            ) from exc
-        try:
-            await writer.drain()
-        except ConnectionError:
-            self._writers.pop(dest, None)
+        else:
+            writer = self._writers.get(dest)
+            if writer is not None:
+                frame = encode_message(message)
+                try:
+                    write_frame(writer, frame)
+                except FrameError as exc:
+                    # Outbound overflow is our own bug, not a peer
+                    # disconnect: surface it instead of letting
+                    # _read_loop's FrameError handling (meant for corrupt
+                    # *inbound* prefixes) eat it.
+                    raise RuntimeAbort(
+                        f"outbound message to {dest} exceeds the frame cap: {exc}"
+                    ) from exc
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    self._writers.pop(dest, None)
+        # Observed last, like the simulator: the message is on the wire
+        # (or provably lost) before an adaptive adversary reacts to it.
+        self._notify(
+            Observation(
+                kind="send",
+                time_ms=self._elapsed_s() * 1000.0,
+                pid=self.process_id,
+                dest=dest,
+                mtype=message_type_name(message),
+                source=getattr(message, "source", None),
+                bid=getattr(message, "bid", None),
+            )
+        )
 
     async def _wait_for_deliveries(self, satisfied, timeout: float) -> bool:
-        """Wait until ``satisfied()`` is true, re-checking on every delivery."""
+        """Wait until ``satisfied()`` is true, re-checking on every delivery.
+
+        Returns ``False`` immediately once the node crashes: its
+        delivery set is final, so an unsatisfied wait can never be
+        satisfied and running to the timeout would stall the caller.
+        """
         loop = asyncio.get_event_loop()
         deadline = loop.time() + timeout
         while not satisfied():
+            if self._crashed:
+                return False
             remaining = deadline - loop.time()
             if remaining <= 0:
                 return False

@@ -10,10 +10,23 @@ The simulation enforces the system model of Sec. 3:
 
 * only processes connected by an edge can exchange messages (a protocol
   trying to send to a non-neighbor is a bug and raises);
-* links are reliable and authenticated — messages are never lost or
-  altered in transit, and the receiver learns the true sender identity;
+* links are authenticated — messages are never altered in transit and
+  the receiver learns the true sender identity;
 * links are either synchronous (fixed delay) or asynchronous (random
-  delay), in which case messages can be reordered.
+  delay), in which case messages can be reordered;
+* links are reliable by default, but a lossy delay model
+  (:class:`~repro.network.simulation.delays.LossyDelay`,
+  :class:`~repro.network.simulation.delays.BurstyLossWindow`) may return
+  the :data:`~repro.network.simulation.delays.DROP` sentinel for a
+  message, which is then lost in transit (its bytes are still charged to
+  the sender).
+
+The network also supports an *observer* hook
+(:attr:`SimulatedNetwork.observer`): every send and delivery is reported
+as an :class:`~repro.core.events.Observation`, which is how the scenario
+engine's adaptive adversaries watch a run and react to it (crash a
+process mid-run, cut a link, swap a protocol for a Byzantine behaviour
+via :meth:`SimulatedNetwork.replace_protocol`).
 """
 
 from __future__ import annotations
@@ -22,13 +35,14 @@ import random
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.errors import ConfigurationError, RuntimeAbort
-from repro.core.events import BRBDeliver, Command, RCDeliver, SendTo
-from repro.metrics.collector import MetricsCollector, RunMetrics
-from repro.network.simulation.delays import DelayModel, FixedDelay
+from repro.core.events import BRBDeliver, Command, Observation, RCDeliver, SendTo
+from repro.metrics.collector import MetricsCollector, RunMetrics, message_type_name
+from repro.network.simulation.delays import DROP, DelayModel, FixedDelay
 from repro.network.simulation.scheduler import EventScheduler
 from repro.topology.generators import Topology
 
 DeliveryCallback = Callable[[int, BRBDeliver, float], None]
+ObserverCallback = Callable[[Observation], None]
 
 
 class SimulatedNetwork:
@@ -93,7 +107,10 @@ class SimulatedNetwork:
         self._medium_free_at = 0.0
         self._crashed: set = set()
         self._started = False
-        #: Messages lost to link-drop windows.
+        #: Observer of protocol events (sends/deliveries); set by the
+        #: scenario engine to feed adaptive adversaries.
+        self.observer: Optional[ObserverCallback] = None
+        #: Messages lost to link-drop windows or a lossy delay model.
         self.dropped_messages = 0
         # Undirected link -> list of (start_ms, end_ms) drop windows;
         # ``end_ms`` is None for a window that never reopens.
@@ -167,6 +184,19 @@ class SimulatedNetwork:
         if time_ms < 0:
             raise ConfigurationError(f"start time must be non-negative, got {time_ms}")
         self._start_times[pid] = time_ms
+
+    def replace_protocol(self, pid: int, protocol: object) -> None:
+        """Swap process ``pid``'s protocol instance mid-run.
+
+        Used by adaptive adversaries to turn a (so far correct) process
+        Byzantine once a trigger fires: the replacement handles every
+        subsequent event, while commands already scheduled from the old
+        instance still deliver — a conversion cannot retract messages
+        that are on the wire.
+        """
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot replace unknown process {pid}")
+        self.protocols[pid] = protocol
 
     def is_crashed(self, pid: int) -> bool:
         """Whether ``pid`` has been crashed."""
@@ -268,6 +298,11 @@ class SimulatedNetwork:
         if pid in self._crashed:
             return
         for command in commands:
+            if pid in self._crashed:
+                # An adaptive trigger crashed the process while this
+                # command batch was executing: the remaining commands
+                # are suppressed, exactly like the asyncio runtime.
+                return
             if isinstance(command, SendTo):
                 self._execute_send(pid, command)
             elif isinstance(command, BRBDeliver):
@@ -292,9 +327,14 @@ class SimulatedNetwork:
                 f"process {sender} tried to send to {dest} without a channel"
             )
         size = self.collector.record_send(self.scheduler.now, sender, dest, command.message)
-        delay = self.delay_model.sample(self.rng, sender, dest, size)
+        outcome = self.delay_model.sample_event(
+            self.rng, sender, dest, size, self.scheduler.now
+        )
         message = command.message
-        dropped = self._link_dropped(sender, dest, self.scheduler.now)
+        dropped = outcome is DROP or self._link_dropped(
+            sender, dest, self.scheduler.now
+        )
+        delay = 0.0 if outcome is DROP else outcome
 
         def deliver() -> None:
             if dest in self._crashed:
@@ -308,20 +348,35 @@ class SimulatedNetwork:
         if self.shared_bandwidth_bps is not None:
             # Serialize the message through the shared medium before the
             # propagation delay starts.  A message lost to a link-drop
-            # window still left the NIC, so it occupies the medium too.
+            # window or the lossy delay model still left the NIC, so it
+            # occupies the medium too.
             start = max(self.scheduler.now, self._medium_free_at)
             transmission_ms = (size * 8.0 / self.shared_bandwidth_bps) * 1000.0
             self._medium_free_at = start + transmission_ms
             arrival = self._medium_free_at + delay
             if dropped:
                 self.dropped_messages += 1
-                return
-            self.scheduler.schedule_at(arrival, deliver)
+            else:
+                self.scheduler.schedule_at(arrival, deliver)
         else:
             if dropped:
                 self.dropped_messages += 1
-                return
-            self.scheduler.schedule(delay, deliver)
+            else:
+                self.scheduler.schedule(delay, deliver)
+        # Observed last: the message is on the wire (or provably lost)
+        # before an adaptive adversary may react to it, so a triggered
+        # crash of the sender cannot retract this transmission.
+        self._notify(
+            Observation(
+                kind="send",
+                time_ms=self.scheduler.now,
+                pid=sender,
+                dest=dest,
+                mtype=message_type_name(message),
+                source=getattr(message, "source", None),
+                bid=getattr(message, "bid", None),
+            )
+        )
 
     def _execute_delivery(self, pid: int, command: BRBDeliver) -> None:
         self.collector.record_delivery(
@@ -329,11 +384,33 @@ class SimulatedNetwork:
         )
         if self.on_deliver is not None:
             self.on_deliver(pid, command, self.scheduler.now)
+        self._notify(
+            Observation(
+                kind="deliver",
+                time_ms=self.scheduler.now,
+                pid=pid,
+                source=command.source,
+                bid=command.bid,
+            )
+        )
 
     def _execute_rc_delivery(self, pid: int, command: RCDeliver) -> None:
         source = command.source if command.source is not None else -1
         payload = command.payload if isinstance(command.payload, bytes) else b""
         self.collector.record_delivery(self.scheduler.now, pid, source, 0, payload)
+        self._notify(
+            Observation(
+                kind="deliver",
+                time_ms=self.scheduler.now,
+                pid=pid,
+                source=source,
+                bid=0,
+            )
+        )
+
+    def _notify(self, observation: Observation) -> None:
+        if self.observer is not None:
+            self.observer(observation)
 
     def _collect_state_sizes(self) -> None:
         for pid, protocol in self.protocols.items():

@@ -45,7 +45,12 @@ from repro.scenarios.spec import ScenarioSpec
 #:     per-broadcast ``outcomes`` — pre-v4 records lack both and must
 #:     miss cleanly (the version check below runs before any attribute
 #:     of the stored result is touched).
-CACHE_VERSION = 4
+#: v5: DelaySpec grew the loss fields (``loss``, ``burst_period_ms``,
+#:     ``burst_len_ms``) and ScenarioSpec the ``adaptive`` faults — a
+#:     pre-v5 record's spec lacks them, so spec equality against a
+#:     current-build spec would be meaningless; the version check makes
+#:     it miss cleanly before any field is compared.
+CACHE_VERSION = 5
 
 #: Disambiguates concurrent same-process writers of one cache slot
 #: (``next`` on a C-implemented counter is atomic under the GIL).

@@ -54,7 +54,12 @@ WIRE_MAGIC = b"RSWP"
 #:     BroadcastSpec, BroadcastOutcome) that v1 builds cannot unpickle;
 #:     the handshake rejects a mixed-version coordinator/worker pair
 #:     up front instead of failing on the first workload task.
-WIRE_VERSION = 2
+#: v3: spec bodies may embed lossy delay fields (DelaySpec.loss /
+#:     burst windows) and adaptive fault classes (ObservationFilter,
+#:     CrashWhen, TurnByzantineWhen, CutLinkWhen) that v2 builds cannot
+#:     unpickle — or worse, would silently run loss-free; the handshake
+#:     rejects the mixed pair up front.
+WIRE_VERSION = 3
 
 _HEADER_LEN = len(WIRE_MAGIC) + 2
 _INDEX = struct.Struct(">I")

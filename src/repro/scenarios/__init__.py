@@ -10,7 +10,8 @@ composable scenario engine:
 * :mod:`repro.scenarios.placement` — strategies choosing *where* the
   Byzantine processes sit (random / max-degree / articulation-adjacent);
 * :mod:`repro.scenarios.faults` — timed fault events (crash-at-time,
-  link-drop windows, delayed-start nodes);
+  link-drop windows, delayed-start nodes) and adaptive, trigger-driven
+  adversaries (crash/convert/cut once observed protocol events match);
 * :mod:`repro.scenarios.grid` — cartesian expansion of a base spec into
   sweep cells;
 * :mod:`repro.scenarios.engine` — the runner producing a
@@ -21,7 +22,11 @@ composable scenario engine:
   deterministic discrete-event simulator and the asyncio TCP runtime
   (real sockets on localhost), selected per cell via ``spec.backend``;
 * :mod:`repro.scenarios.conformance` — cross-backend agreement on the
-  delivery/safety verdicts of one spec.
+  delivery/safety verdicts of one spec (safety-only verdicts for lossy
+  or adaptive scenarios, whose delivery sets legitimately differ);
+* :mod:`repro.scenarios.oracle` — the safety oracle: paper-level BRB
+  invariants checked on any result, plus randomized lossy/adaptive
+  scenario grids for the cross-backend oracle test suite.
 
 Scenario cells are plain picklable data, which is what lets
 :class:`repro.runner.parallel.SweepExecutor` fan them out over a process
@@ -39,8 +44,12 @@ from repro.scenarios.conformance import (
     BackendVerdict,
     BroadcastVerdict,
     ConformanceReport,
+    SafetyVerdict,
     broadcast_verdict_of,
+    conformance_mode_for,
+    no_forged_deliveries,
     run_conformance,
+    safety_verdict_of,
     verdict_of,
 )
 from repro.scenarios.engine import (
@@ -54,8 +63,26 @@ from repro.scenarios.engine import (
     run_scenario,
     simulate_scenario,
 )
-from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
+from repro.scenarios.faults import (
+    AdaptiveController,
+    AdaptiveFault,
+    CrashAt,
+    CrashWhen,
+    CutLinkWhen,
+    DelayedStart,
+    FaultEvent,
+    LinkDropWindow,
+    ObservationFilter,
+    TurnByzantineWhen,
+)
 from repro.scenarios.grid import expand_grid, seed_cells
+from repro.scenarios.oracle import (
+    OracleViolation,
+    assert_safe,
+    check_result,
+    sample_lossy_adaptive_specs,
+    totality_expected,
+)
 from repro.scenarios.placement import PLACEMENT_STRATEGIES, place_adversaries
 from repro.scenarios.serialize import (
     SerializationError,
@@ -88,6 +115,13 @@ __all__ = [
     "LinkDropWindow",
     "DelayedStart",
     "FaultEvent",
+    # adaptive faults
+    "ObservationFilter",
+    "CrashWhen",
+    "TurnByzantineWhen",
+    "CutLinkWhen",
+    "AdaptiveFault",
+    "AdaptiveController",
     # placement
     "PLACEMENT_STRATEGIES",
     "place_adversaries",
@@ -113,10 +147,20 @@ __all__ = [
     # conformance
     "BackendVerdict",
     "BroadcastVerdict",
+    "SafetyVerdict",
     "ConformanceReport",
     "verdict_of",
     "broadcast_verdict_of",
+    "safety_verdict_of",
+    "no_forged_deliveries",
+    "conformance_mode_for",
     "run_conformance",
+    # safety oracle
+    "OracleViolation",
+    "check_result",
+    "assert_safe",
+    "totality_expected",
+    "sample_lossy_adaptive_specs",
     # wire serialization
     "SerializationError",
     "dumps_spec",

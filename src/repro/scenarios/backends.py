@@ -22,6 +22,13 @@ ship:
                             endpoints of the link
   ``DelayedStart(pid, t)``  node buffers inbound traffic and joins
                             at wall-clock ``t``
+  lossy ``DelaySpec``       probabilistic / periodic connection
+                            drop filters seeded from the scenario
+                            hash (``plan_loss``)
+  adaptive faults           node observations feed an
+                            ``AdaptiveController``; fired triggers
+                            crash nodes, cut links or swap live
+                            protocols for Byzantine behaviours
   ========================  =====================================
 
   Simulated milliseconds — fault timestamps and workload
@@ -48,15 +55,23 @@ from repro.core.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
 from repro.network.asyncio_runtime.cluster import AsyncioCluster
 from repro.scenarios.engine import (
+    AdaptiveRunState,
     ScenarioResult,
     build_protocols,
     freeze_result,
+    make_adaptive_observer,
     place_byzantine,
     simulate_scenario,
     validate_topology,
 )
-from repro.scenarios.faults import CrashAt, DelayedStart, FaultEvent, LinkDropWindow
+from repro.scenarios.faults import (
+    CrashAt,
+    DelayedStart,
+    FaultEvent,
+    LinkDropWindow,
+)
 from repro.scenarios.spec import BACKEND_NAMES, BroadcastSpec, ScenarioSpec
+from repro.topology.generators import Topology
 
 
 class ScenarioBackend(abc.ABC):
@@ -121,6 +136,33 @@ class ScheduledBroadcast:
     broadcast: BroadcastSpec
     at_s: float
     payload: bytes
+
+
+@dataclass(frozen=True)
+class ConnectionLoss:
+    """Probabilistic loss filter for one link of the asyncio runtime.
+
+    Mirrors the scenario's lossy delay model at the connection level:
+    every message on ``{u, v}`` is lost with ``probability``, drawn from
+    a ``seed``-keyed RNG.  The seed derives from the scenario hash, so
+    the drop sequence is fixed per scenario even though wall-clock
+    message ordering is not.
+    """
+
+    u: int
+    v: int
+    probability: float
+    seed: int
+
+
+@dataclass(frozen=True)
+class ConnectionBurst:
+    """Periodic outage bursts for one link of the asyncio runtime."""
+
+    u: int
+    v: int
+    period_s: float
+    burst_s: float
 
 
 class AsyncioBackend(ScenarioBackend):
@@ -218,6 +260,47 @@ class AsyncioBackend(ScenarioBackend):
             for broadcast in spec.broadcasts()
         ]
 
+    def plan_loss(
+        self, spec: ScenarioSpec, topology: Topology
+    ) -> Tuple[List[ConnectionLoss], List[ConnectionBurst]]:
+        """Translate the spec's lossy delay regime into connection filters.
+
+        Pure and deterministic — one probabilistic filter and/or one
+        periodic burst per undirected link, with the loss-filter seeds
+        derived from the scenario hash and the link endpoints (so two
+        scenarios, or two links, never share a drop sequence).  Burst
+        times scale through ``time_scale`` like every other timestamp.
+        """
+        losses: List[ConnectionLoss] = []
+        bursts: List[ConnectionBurst] = []
+        delay = spec.delay
+        if not delay.is_lossy:
+            return losses, bursts
+        base_seed = int(spec.scenario_hash()[:16], 16)
+        for u in topology.nodes:
+            for v in sorted(topology.neighbors(u)):
+                if v <= u:
+                    continue
+                if delay.loss > 0.0:
+                    losses.append(
+                        ConnectionLoss(
+                            u=u,
+                            v=v,
+                            probability=delay.loss,
+                            seed=base_seed ^ (u * 0x9E3779B1 + v),
+                        )
+                    )
+                if delay.burst_period_ms > 0.0 and delay.burst_len_ms > 0.0:
+                    bursts.append(
+                        ConnectionBurst(
+                            u=u,
+                            v=v,
+                            period_s=self._scale(delay.burst_period_ms),
+                            burst_s=self._scale(delay.burst_len_ms),
+                        )
+                    )
+        return losses, bursts
+
     @staticmethod
     def arm(cluster: AsyncioCluster, actions: List[RuntimeAction]) -> None:
         """Install runtime actions on a built (not yet started) cluster.
@@ -234,6 +317,60 @@ class AsyncioBackend(ScenarioBackend):
                 )
             elif isinstance(action, DeferredStart):
                 cluster.delay_start(action.pid, action.wake_s)
+
+    @staticmethod
+    def arm_loss(
+        cluster: AsyncioCluster,
+        losses: List[ConnectionLoss],
+        bursts: List[ConnectionBurst],
+    ) -> None:
+        """Install the planned connection-level loss filters on a cluster."""
+        for loss in losses:
+            cluster.add_loss_filter(loss.u, loss.v, loss.probability, loss.seed)
+        for burst in bursts:
+            cluster.add_periodic_drop_window(
+                burst.u, burst.v, burst.period_s, burst.burst_s
+            )
+
+    def arm_adaptive(
+        self,
+        cluster: AsyncioCluster,
+        spec: ScenarioSpec,
+        byzantine: Optional[Dict[int, object]] = None,
+    ) -> AdaptiveRunState:
+        """Install the spec's adaptive faults on a built cluster.
+
+        The asyncio twin of :func:`repro.scenarios.engine.arm_adaptive`,
+        built on the same
+        :func:`~repro.scenarios.engine.make_adaptive_observer` core so
+        the trigger semantics cannot drift between backends: crashes go
+        fail-silent, link cuts open drop windows at the current
+        epoch-relative time (durations scale through ``time_scale``),
+        Byzantine conversions swap the live protocol instance.  Returns
+        the mutable state the run folds into result accounting.
+        """
+        state = AdaptiveRunState()
+
+        def cut_link(u: int, v: int, duration_ms) -> None:
+            now_s = cluster.elapsed_s()
+            end_s = (
+                None if duration_ms is None else now_s + self._scale(duration_ms)
+            )
+            cluster.add_link_drop_window(u, v, now_s, end_s)
+
+        observer = make_adaptive_observer(
+            spec,
+            state,
+            topology=cluster.topology,
+            byzantine=dict(byzantine or {}),
+            crash=cluster.crash,
+            cut_link=cut_link,
+            live_protocol=lambda pid: cluster.nodes[pid].protocol,
+            install_protocol=cluster.replace_protocol,
+        )
+        if observer is not None:
+            cluster.set_observer(observer)
+        return state
 
     # -- execution -----------------------------------------------------
     def run(self, spec: ScenarioSpec) -> ScenarioResult:
@@ -255,6 +392,8 @@ class AsyncioBackend(ScenarioBackend):
             collector=collector,
         )
         self.arm(cluster, self.plan_faults(spec.faults))
+        self.arm_loss(cluster, *self.plan_loss(spec, topology))
+        adaptive = self.arm_adaptive(cluster, spec, byzantine)
 
         schedule = self.plan_workload(spec)
         crashed = {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
@@ -297,7 +436,10 @@ class AsyncioBackend(ScenarioBackend):
         return freeze_result(
             spec,
             topology=topology,
-            byzantine={pid: adv.behaviour for pid, adv in byzantine.items()},
+            byzantine={
+                **{pid: adv.behaviour for pid, adv in byzantine.items()},
+                **adaptive.converted,
+            },
             metrics=collector.snapshot(),
             dropped_messages=dropped,
             # Delivery timestamps are wall-clock ms relative to the
@@ -305,6 +447,7 @@ class AsyncioBackend(ScenarioBackend):
             # maps the latter into the former so per-broadcast latency
             # is measured in one domain whatever the time_scale.
             start_time_factor=self.time_scale * 1000.0,
+            extra_crashed=tuple(sorted(adaptive.crashed)),
         )
 
 
@@ -336,6 +479,8 @@ __all__ = [
     "DeferredStart",
     "RuntimeAction",
     "ScheduledBroadcast",
+    "ConnectionLoss",
+    "ConnectionBurst",
     "BACKENDS",
     "get_backend",
 ]

@@ -9,6 +9,17 @@ agreement, validity) hold.  :class:`BackendVerdict` captures exactly
 that timing-free projection of a
 :class:`~repro.scenarios.engine.ScenarioResult`, and
 :func:`run_conformance` runs one spec on several backends and compares.
+
+Lossy and adaptive scenarios are compared differently.  Which messages a
+lossy link loses — and therefore which processes deliver, and whether an
+adaptive trigger fires at all — legitimately differs between a seeded
+simulation and real sockets, so comparing delivery traces would fail for
+reasons the paper's claims say nothing about.  What must *still* agree
+is every safety outcome: no correct process delivered a forged message,
+no two correct processes disagreed on a payload, no correct deliverer
+got anything but what the source sent.  :class:`SafetyVerdict` is that
+projection, and ``run_conformance``'s default ``mode="auto"`` selects it
+exactly when the spec is lossy or adaptive.
 """
 
 from __future__ import annotations
@@ -16,8 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, List, Sequence, Tuple
 
+from repro.core.errors import ConfigurationError
 from repro.scenarios.engine import BroadcastOutcome, ScenarioResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
+
+#: Verdict-comparison modes of :func:`run_conformance`.
+CONFORMANCE_MODES = ("auto", "full", "safety")
 
 
 @dataclass(frozen=True)
@@ -83,6 +98,68 @@ def broadcast_verdict_of(
     )
 
 
+@dataclass(frozen=True)
+class SafetyVerdict:
+    """Loss-tolerant safety projection of one scenario result.
+
+    Everything here must hold — and match across backends — *whatever*
+    messages the lossy links lost and *whether or not* the adaptive
+    triggers fired: the predicates quantify over the processes each run
+    itself considers correct, and none of them depends on which subset
+    of messages survived.  Deliberately absent: delivered sets, payload
+    traces, totality, and the byzantine/crashed rosters (an adaptive
+    conversion may fire on one backend and not the other).
+    """
+
+    agreement_holds: bool
+    validity_holds: bool
+    no_forged_deliveries: bool
+    #: Per scheduled broadcast: (source, bid, agreement, validity).
+    broadcast_safety: Tuple[Tuple[int, int, bool, bool], ...]
+
+
+def no_forged_deliveries(result: ScenarioResult) -> bool:
+    """No correct process delivered a broadcast its correct source never made.
+
+    A *forged* delivery is one whose ``(source, bid)`` key is not in the
+    scenario's schedule while ``source`` is a correct process — i.e. the
+    adversary manufactured a broadcast and pinned it on an honest
+    process, which the authenticated-channel / disjoint-path machinery
+    must prevent.  Keys attributed to Byzantine processes are fine (a
+    Byzantine source may broadcast anything), as are reliable-
+    communication deliveries with no encoded originator (source ``-1``).
+    """
+    scheduled = {broadcast.key for broadcast in result.spec.broadcasts()}
+    byzantine = {pid for pid, _ in result.byzantine}
+    correct = set(result.correct_processes)
+    for pid, key in result.metrics.delivery_times:
+        if pid not in correct or key in scheduled:
+            continue
+        source = key[0]
+        if source in byzantine or source == -1:
+            continue
+        return False
+    return True
+
+
+def safety_verdict_of(result: ScenarioResult) -> SafetyVerdict:
+    """Project a result onto the loss-tolerant safety verdict fields."""
+    return SafetyVerdict(
+        agreement_holds=result.agreement_holds,
+        validity_holds=result.validity_holds,
+        no_forged_deliveries=no_forged_deliveries(result),
+        broadcast_safety=tuple(
+            (
+                outcome.source,
+                outcome.bid,
+                outcome.agreement_holds,
+                outcome.validity_holds,
+            )
+            for outcome in result.outcomes
+        ),
+    )
+
+
 def verdict_of(result: ScenarioResult) -> BackendVerdict:
     """Project a result onto the backend-comparable verdict fields."""
     correct = frozenset(result.correct_processes)
@@ -116,11 +193,15 @@ class ConformanceReport:
 
     spec_name: str
     scenario_hashes: Tuple[Tuple[str, str], ...]
-    verdicts: Tuple[Tuple[str, BackendVerdict], ...]
+    #: Per-backend verdicts: :class:`BackendVerdict` in full mode,
+    #: :class:`SafetyVerdict` in safety mode (see ``mode``).
+    verdicts: Tuple[Tuple[str, object], ...]
     #: Per-backend latency until all correct processes delivered (None if
     #: some did not).  Informational only — simulated vs wall-clock
     #: milliseconds — and deliberately not part of the agreement check.
     latencies_ms: Tuple[Tuple[str, object], ...] = ()
+    #: The comparison that was applied: ``"full"`` or ``"safety"``.
+    mode: str = "full"
 
     @property
     def agree(self) -> bool:
@@ -134,7 +215,7 @@ class ConformanceReport:
         reference_name, reference = self.verdicts[0]
         problems: List[str] = []
         for name, verdict in self.verdicts[1:]:
-            for field_ in fields(BackendVerdict):
+            for field_ in fields(type(reference)):
                 expected = getattr(reference, field_.name)
                 observed = getattr(verdict, field_.name)
                 if expected != observed:
@@ -145,19 +226,43 @@ class ConformanceReport:
         return problems
 
 
+def conformance_mode_for(spec: ScenarioSpec, mode: str = "auto") -> str:
+    """Resolve the comparison mode for ``spec``.
+
+    ``"auto"`` compares full delivery verdicts for reliable, statically
+    faulted scenarios and falls back to safety-only verdicts for lossy
+    or adaptive ones, whose delivery sets legitimately differ between a
+    seeded simulation and real sockets.
+    """
+    if mode not in CONFORMANCE_MODES:
+        raise ConfigurationError(
+            f"unknown conformance mode {mode!r}; expected one of {CONFORMANCE_MODES}"
+        )
+    if mode != "auto":
+        return mode
+    return "safety" if (spec.is_lossy or spec.is_adaptive) else "full"
+
+
 def run_conformance(
     spec: ScenarioSpec,
     backends: Sequence[str] = ("simulation", "asyncio"),
     *,
     overrides: Dict[str, object] = None,
+    mode: str = "auto",
 ) -> ConformanceReport:
     """Run one spec on every listed backend and compare the verdicts.
 
     ``overrides`` optionally maps a backend name to a configured
     :class:`~repro.scenarios.backends.ScenarioBackend` instance (e.g. an
     ``AsyncioBackend`` with a shorter delivery timeout for CI).
+    ``mode`` selects the verdict projection compared across backends —
+    ``"full"`` (delivery + safety), ``"safety"`` (loss-tolerant safety
+    outcomes only) or ``"auto"`` (safety exactly when the spec is lossy
+    or adaptive; see :func:`conformance_mode_for`).
     """
     overrides = overrides or {}
+    resolved = conformance_mode_for(spec, mode)
+    project = safety_verdict_of if resolved == "safety" else verdict_of
     results: List[Tuple[str, ScenarioResult]] = []
     for name in backends:
         result = run_scenario(spec.with_backend(name), backend=overrides.get(name))
@@ -167,16 +272,22 @@ def run_conformance(
         scenario_hashes=tuple(
             (name, result.scenario_hash) for name, result in results
         ),
-        verdicts=tuple((name, verdict_of(result)) for name, result in results),
+        verdicts=tuple((name, project(result)) for name, result in results),
         latencies_ms=tuple((name, result.latency_ms) for name, result in results),
+        mode=resolved,
     )
 
 
 __all__ = [
+    "CONFORMANCE_MODES",
     "BroadcastVerdict",
     "BackendVerdict",
+    "SafetyVerdict",
     "ConformanceReport",
     "broadcast_verdict_of",
     "verdict_of",
+    "safety_verdict_of",
+    "no_forged_deliveries",
+    "conformance_mode_for",
     "run_conformance",
 ]

@@ -32,10 +32,21 @@ from repro.metrics.collector import MetricsCollector, RunMetrics
 from repro.network.adversary import build_behaviour
 from repro.network.simulation.network import SimulatedNetwork
 from repro.runner.configs import protocol_factory, protocol_family
-from repro.scenarios.faults import CrashAt
+from repro.scenarios.faults import (
+    AdaptiveController,
+    ByzantineAction,
+    CrashAction,
+    CrashAt,
+    CutLinkWhen,
+    LinkDownAction,
+)
 from repro.scenarios.placement import place_adversaries
 from repro.scenarios.spec import BroadcastSpec, ScenarioSpec
 from repro.topology.generators import Topology
+
+#: Seed offset separating adaptive-conversion behaviour RNGs from the
+#: statically placed ones (which use ``spec.seed + pid``).
+_ADAPTIVE_SEED_OFFSET = 104_729
 
 #: Trace entry: (delivery time ms, process, source, bid, payload hex).
 TraceEntry = Tuple[float, int, int, int, str]
@@ -299,6 +310,21 @@ def validate_topology(spec: ScenarioSpec, topology: Topology) -> None:
             raise ConfigurationError(
                 f"source {broadcast.source} is not a process of the topology"
             )
+    for fault in spec.adaptive:
+        # Validated before the run starts so both backends reject an
+        # invalid target identically — a trigger firing mid-run must
+        # never be the first place a bad pid or missing link surfaces.
+        pid = getattr(fault, "pid", None)
+        if pid is not None and pid not in topology.adjacency:
+            raise ConfigurationError(
+                f"adaptive fault {type(fault).__name__} targets unknown "
+                f"process {pid}"
+            )
+        if isinstance(fault, CutLinkWhen) and not topology.has_edge(fault.u, fault.v):
+            raise ConfigurationError(
+                f"adaptive fault CutLinkWhen targets missing link "
+                f"({fault.u}, {fault.v})"
+            )
     if spec.protocol == "bracha" and not topology.is_fully_connected():
         # Bracha's protocol assumes every pair of processes shares a
         # channel; on a partial graph it silently never delivers.
@@ -391,22 +417,30 @@ def freeze_result(
     metrics: RunMetrics,
     dropped_messages: int,
     start_time_factor: float = 1.0,
+    extra_crashed: Tuple[int, ...] = (),
 ) -> ScenarioResult:
     """Freeze one run's observations into a :class:`ScenarioResult`.
 
     Shared by every execution backend: the simulation passes simulated
     timestamps, the asyncio backend wall-clock milliseconds relative to
     the broadcast epoch — the delivery/safety predicates read the same
-    either way.
+    either way.  ``byzantine`` already includes any adaptive mid-run
+    conversions (the caller merges them); ``extra_crashed`` carries the
+    pids adaptive triggers crashed, on top of the spec's static
+    :class:`CrashAt` events.
 
     Fault precedence: a process that is both Byzantine and targeted by a
-    :class:`CrashAt` fault is reported as Byzantine only — the Byzantine
-    behaviour subsumes fail-silence, and one process must never appear
-    in both the ``byzantine`` and ``crashed`` sets.
+    :class:`CrashAt` fault (or an adaptive crash) is reported as
+    Byzantine only — the Byzantine behaviour subsumes fail-silence, and
+    one process must never appear in both the ``byzantine`` and
+    ``crashed`` sets.
     """
     crashed = tuple(
         sorted(
-            {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
+            (
+                {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
+                | set(extra_crashed)
+            )
             - set(byzantine)
         )
     )
@@ -462,6 +496,115 @@ def freeze_result(
     )
 
 
+@dataclass
+class AdaptiveRunState:
+    """What a run's adaptive triggers actually did (mutable, per run).
+
+    ``converted`` maps pid → behaviour name for every process an adaptive
+    trigger turned Byzantine; ``crashed`` holds the pids adaptive
+    triggers crashed.  Both feed result accounting: converted processes
+    join the ``byzantine`` set, adaptively crashed ones the ``crashed``
+    set.
+    """
+
+    converted: Dict[int, str] = field(default_factory=dict)
+    crashed: set = field(default_factory=set)
+
+
+def make_adaptive_observer(
+    spec: ScenarioSpec,
+    state: AdaptiveRunState,
+    *,
+    topology: Topology,
+    byzantine: Dict[int, str],
+    crash,
+    cut_link,
+    live_protocol,
+    install_protocol,
+):
+    """The shared observer applying adaptive actions on either backend.
+
+    Backends differ only in their primitives — ``crash(pid)``,
+    ``cut_link(u, v, duration_ms)``, ``live_protocol(pid)`` and
+    ``install_protocol(pid, behaviour)`` — while the trigger bookkeeping,
+    the first-behaviour-wins guard, the behaviour construction (wrapping
+    the *live* instance so ``"drop"``/``"forge"`` conversions keep their
+    accumulated state) and the seed derivation live here, once.  Targets
+    are validated up front by :func:`validate_topology`.  Returns
+    ``None`` when the spec carries no adaptive faults.
+    """
+    if not spec.adaptive:
+        return None
+    controller = AdaptiveController(spec.adaptive)
+    system = spec.system()
+    family = protocol_family(spec.protocol)
+
+    def apply(action) -> None:
+        if isinstance(action, CrashAction):
+            crash(action.pid)
+            state.crashed.add(action.pid)
+        elif isinstance(action, LinkDownAction):
+            cut_link(action.u, action.v, action.duration_ms)
+        elif isinstance(action, ByzantineAction):
+            pid = action.pid
+            if pid in byzantine or pid in state.converted:
+                return  # already Byzantine: the first behaviour wins
+            inner = live_protocol(pid)
+            behaviour = build_behaviour(
+                action.behaviour,
+                pid,
+                sorted(topology.neighbors(pid)),
+                system=system,
+                inner_factory=lambda inner=inner: inner,
+                family=family,
+                seed=spec.seed + _ADAPTIVE_SEED_OFFSET + pid,
+                drop_probability=action.drop_probability,
+            )
+            install_protocol(pid, behaviour)
+            state.converted[pid] = action.behaviour
+
+    def observe(observation) -> None:
+        for action in controller.observe(observation):
+            apply(action)
+
+    return observe
+
+
+def arm_adaptive(
+    network: SimulatedNetwork, spec: ScenarioSpec, byzantine: Dict[int, str]
+) -> AdaptiveRunState:
+    """Install the spec's adaptive faults on a simulated network.
+
+    Feeds every network observation through an
+    :class:`~repro.scenarios.faults.AdaptiveController` and applies the
+    emitted actions in place: crashes call
+    :meth:`SimulatedNetwork.crash`, link cuts open a drop window at the
+    current time, Byzantine conversions swap the live protocol instance
+    via :meth:`SimulatedNetwork.replace_protocol`.  Returns the mutable
+    state the caller folds into result accounting.
+    """
+    state = AdaptiveRunState()
+
+    def cut_link(u: int, v: int, duration_ms) -> None:
+        now = network.now
+        end = None if duration_ms is None else now + duration_ms
+        network.add_link_drop_window(u, v, now, end)
+
+    observer = make_adaptive_observer(
+        spec,
+        state,
+        topology=network.topology,
+        byzantine=byzantine,
+        crash=network.crash,
+        cut_link=cut_link,
+        live_protocol=lambda pid: network.protocols[pid],
+        install_protocol=network.replace_protocol,
+    )
+    if observer is not None:
+        network.observer = observer
+    return state
+
+
 def simulate_scenario(spec: ScenarioSpec) -> ScenarioResult:
     """Run one scenario on the discrete-event simulator and freeze it.
 
@@ -469,9 +612,13 @@ def simulate_scenario(spec: ScenarioSpec) -> ScenarioResult:
     :meth:`SimulatedNetwork.broadcast_at`: time-0 broadcasts fire before
     the event loop starts (the legacy single-broadcast path,
     byte-identical to the pre-workload engine), later ones are scheduled
-    at their ``start_time_ms``.
+    at their ``start_time_ms``.  Adaptive faults observe the run and may
+    crash processes, cut links or convert processes to Byzantine
+    behaviours mid-run; what they did is folded into the result's
+    ``byzantine``/``crashed`` accounting.
     """
     network, byzantine = build_network(spec)
+    adaptive = arm_adaptive(network, spec, byzantine)
     for broadcast in spec.broadcasts():
         network.broadcast_at(
             broadcast.source,
@@ -483,9 +630,10 @@ def simulate_scenario(spec: ScenarioSpec) -> ScenarioResult:
     return freeze_result(
         spec,
         topology=network.topology,
-        byzantine=byzantine,
+        byzantine={**byzantine, **adaptive.converted},
         metrics=metrics,
         dropped_messages=network.dropped_messages,
+        extra_crashed=tuple(sorted(adaptive.crashed)),
     )
 
 
@@ -511,10 +659,13 @@ __all__ = [
     "BroadcastOutcome",
     "ScenarioResult",
     "TraceEntry",
+    "AdaptiveRunState",
     "place_byzantine",
     "build_protocols",
     "build_network",
     "validate_topology",
+    "make_adaptive_observer",
+    "arm_adaptive",
     "freeze_broadcast_outcome",
     "freeze_result",
     "simulate_scenario",

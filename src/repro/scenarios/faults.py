@@ -1,17 +1,39 @@
-"""Timed fault events injected into a :class:`SimulatedNetwork` run.
+"""Timed and adaptive fault events injected into a scenario run.
 
-These extend the static Byzantine placement of
-:class:`~repro.scenarios.spec.AdversarySpec` with dynamic faults: a
-process crashing mid-run, a link dropping every message during a time
-window, or a process that boots late.  Each event is a small frozen
-dataclass with an ``apply`` hook the scenario engine calls on the network
-before the run starts.
+Two fault families extend the static Byzantine placement of
+:class:`~repro.scenarios.spec.AdversarySpec`:
+
+* **Timed faults** (:class:`CrashAt`, :class:`LinkDropWindow`,
+  :class:`DelayedStart`) fire at fixed scenario times.  Each is a small
+  frozen dataclass with an ``apply`` hook the scenario engine calls on
+  the simulated network before the run starts; the asyncio backend
+  translates them into runtime actions instead.
+
+* **Adaptive faults** (:class:`CrashWhen`, :class:`TurnByzantineWhen`,
+  :class:`CutLinkWhen`) fire when a *trigger* condition over the run's
+  observed protocol events is met — "crash the source once f+1 ECHOs are
+  in flight", "turn a node Byzantine after its first delivery".  Each
+  adaptive fault declares an :class:`ObservationFilter` (what to watch),
+  a match ``count`` (how many matches arm the trigger) and, through
+  ``trigger(observation) -> actions``, the :data:`AdaptiveAction` list to
+  apply when it fires.  The engine feeds every
+  :class:`~repro.core.events.Observation` of a run through an
+  :class:`AdaptiveController`, which tracks per-fault match counts and
+  emits the actions exactly once — identically on both execution
+  backends.
+
+All spec-level dataclasses validate at construction
+(:class:`~repro.core.errors.SpecError`), so a malformed fault fails
+where it is written, not deep inside a sweep worker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import List, Optional, Tuple, Union
+
+from repro.core.errors import SpecError
+from repro.core.events import Observation
 
 
 @dataclass(frozen=True)
@@ -25,6 +47,12 @@ class CrashAt:
 
     pid: int
     time_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise SpecError(
+                f"CrashAt time must be non-negative, got {self.time_ms}"
+            )
 
     def apply(self, network) -> None:
         network.crash_at(self.pid, self.time_ms)
@@ -44,6 +72,22 @@ class LinkDropWindow:
     start_ms: float = 0.0
     end_ms: Optional[float] = None
 
+    def __post_init__(self) -> None:
+        if self.start_ms < 0:
+            raise SpecError(
+                f"LinkDropWindow start must be non-negative, got {self.start_ms}"
+            )
+        if self.end_ms is not None:
+            if self.end_ms < 0:
+                raise SpecError(
+                    f"LinkDropWindow end must be non-negative, got {self.end_ms}"
+                )
+            if self.end_ms < self.start_ms:
+                raise SpecError(
+                    f"LinkDropWindow ends before it starts: "
+                    f"[{self.start_ms}, {self.end_ms})"
+                )
+
     def apply(self, network) -> None:
         network.add_link_drop_window(self.u, self.v, self.start_ms, self.end_ms)
 
@@ -59,10 +103,284 @@ class DelayedStart:
     pid: int
     time_ms: float
 
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise SpecError(
+                f"DelayedStart time must be non-negative, got {self.time_ms}"
+            )
+
     def apply(self, network) -> None:
         network.delay_start(self.pid, self.time_ms)
 
 
 FaultEvent = Union[CrashAt, LinkDropWindow, DelayedStart]
 
-__all__ = ["CrashAt", "LinkDropWindow", "DelayedStart", "FaultEvent"]
+
+# ----------------------------------------------------------------------
+# Adaptive (trigger-driven) faults
+# ----------------------------------------------------------------------
+#: Observation kinds an :class:`ObservationFilter` may select on.
+OBSERVATION_KINDS = ("send", "deliver")
+
+
+@dataclass(frozen=True)
+class ObservationFilter:
+    """Declarative predicate over run observations.
+
+    Every non-``None`` field must match the observation; ``mtype`` is a
+    substring match against the canonical message-type name (so
+    ``"ECHO"`` matches both a plain Bracha ``ECHO`` and a Dolev-wrapped
+    ``DOLEV[ECHO]``).  Being pure data, filters hash into the scenario
+    hash and travel the sweep wire like every other spec field.
+    """
+
+    kind: Optional[str] = None
+    pid: Optional[int] = None
+    dest: Optional[int] = None
+    mtype: Optional[str] = None
+    source: Optional[int] = None
+    bid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is not None and self.kind not in OBSERVATION_KINDS:
+            raise SpecError(
+                f"unknown observation kind {self.kind!r}; "
+                f"expected one of {OBSERVATION_KINDS}"
+            )
+
+    def matches(self, observation: Observation) -> bool:
+        """Whether ``observation`` satisfies every constrained field."""
+        if self.kind is not None and observation.kind != self.kind:
+            return False
+        if self.pid is not None and observation.pid != self.pid:
+            return False
+        if self.dest is not None and observation.dest != self.dest:
+            return False
+        if self.mtype is not None and (
+            observation.mtype is None or self.mtype not in observation.mtype
+        ):
+            return False
+        if self.source is not None and observation.source != self.source:
+            return False
+        if self.bid is not None and observation.bid != self.bid:
+            return False
+        return True
+
+
+# -- actions an adaptive fault applies when it fires -------------------
+@dataclass(frozen=True)
+class CrashAction:
+    """Crash process ``pid`` immediately (fail-silent from now on)."""
+
+    pid: int
+
+
+@dataclass(frozen=True)
+class ByzantineAction:
+    """Swap process ``pid``'s protocol for Byzantine ``behaviour``."""
+
+    pid: int
+    behaviour: str
+    drop_probability: float = 0.5
+
+
+@dataclass(frozen=True)
+class LinkDownAction:
+    """Cut the ``{u, v}`` link now, for ``duration_ms`` (``None``: forever)."""
+
+    u: int
+    v: int
+    duration_ms: Optional[float] = None
+
+
+AdaptiveAction = Union[CrashAction, ByzantineAction, LinkDownAction]
+
+
+class _TriggeredFault:
+    """Shared trigger surface of the adaptive fault dataclasses.
+
+    Subclasses are frozen dataclasses declaring ``after`` (the
+    observation filter) and ``count`` (matches required to fire) and
+    implement :meth:`actions`.  ``trigger`` is the stateless hook of the
+    AdaptiveFault protocol: per-run match counting lives in the
+    :class:`AdaptiveController`, so the spec object stays immutable and
+    reusable across runs.
+    """
+
+    def actions(self) -> Tuple[AdaptiveAction, ...]:
+        raise NotImplementedError
+
+    def trigger(self, observation: Observation) -> Tuple[AdaptiveAction, ...]:
+        """Actions to apply if ``observation`` completes the trigger.
+
+        Stateless: assumes the previous ``count - 1`` matches already
+        happened (the controller guarantees it).  Returns ``()`` when the
+        observation does not match the fault's filter.
+        """
+        if not self.after.matches(observation):
+            return ()
+        return self.actions()
+
+
+@dataclass(frozen=True)
+class CrashWhen(_TriggeredFault):
+    """Crash ``pid`` once ``count`` observations matched ``after``.
+
+    The paper-style adaptive crash: e.g. crash the source once ``f + 1``
+    ECHO messages are in flight
+    (``after=ObservationFilter(kind="send", mtype="ECHO"), count=f + 1``).
+    """
+
+    pid: int
+    after: ObservationFilter = ObservationFilter()
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpecError(f"trigger count must be >= 1, got {self.count}")
+
+    def actions(self) -> Tuple[AdaptiveAction, ...]:
+        return (CrashAction(pid=self.pid),)
+
+
+@dataclass(frozen=True)
+class TurnByzantineWhen(_TriggeredFault):
+    """Turn ``pid`` Byzantine once ``count`` observations matched ``after``.
+
+    The process runs correctly until the trigger fires, then its protocol
+    instance is swapped for ``behaviour`` (``"mute"`` forgets the wrapped
+    instance; ``"drop"`` and ``"forge"`` wrap the *live* instance, so the
+    turned process keeps its accumulated protocol state).  The pid counts
+    against the spec's ``f`` budget — an adaptive adversary corrupts
+    processes mid-run but cannot exceed the paper's fault bound.
+    """
+
+    pid: int
+    after: ObservationFilter = ObservationFilter(kind="deliver")
+    count: int = 1
+    behaviour: str = "mute"
+    drop_probability: float = 0.5
+
+    _BEHAVIOURS = ("mute", "drop", "forge")
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpecError(f"trigger count must be >= 1, got {self.count}")
+        if self.behaviour not in self._BEHAVIOURS:
+            raise SpecError(
+                f"adaptive behaviour {self.behaviour!r} not supported; "
+                f"expected one of {self._BEHAVIOURS} (equivocation only "
+                "makes sense at broadcast time, before any trigger)"
+            )
+        if not 0.0 <= self.drop_probability <= 1.0:
+            raise SpecError(
+                f"drop_probability must be within [0, 1], "
+                f"got {self.drop_probability}"
+            )
+
+    def actions(self) -> Tuple[AdaptiveAction, ...]:
+        return (
+            ByzantineAction(
+                pid=self.pid,
+                behaviour=self.behaviour,
+                drop_probability=self.drop_probability,
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CutLinkWhen(_TriggeredFault):
+    """Cut the ``{u, v}`` link once ``count`` observations matched ``after``.
+
+    ``duration_ms=None`` cuts the link for the rest of the run; a finite
+    duration reopens it.  Unlike :class:`LinkDropWindow` the cut is
+    placed *reactively* — e.g. the instant the first message crosses the
+    link — which is how an adaptive network-level adversary partitions a
+    barely-connected graph at the worst possible moment.
+    """
+
+    u: int
+    v: int
+    after: ObservationFilter = ObservationFilter(kind="send")
+    count: int = 1
+    duration_ms: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise SpecError(f"trigger count must be >= 1, got {self.count}")
+        if self.duration_ms is not None and self.duration_ms <= 0:
+            raise SpecError(
+                f"cut duration must be positive (or None), got {self.duration_ms}"
+            )
+
+    def actions(self) -> Tuple[AdaptiveAction, ...]:
+        return (
+            LinkDownAction(u=self.u, v=self.v, duration_ms=self.duration_ms),
+        )
+
+
+#: The AdaptiveFault protocol: anything with ``after``, ``count``,
+#: ``actions()`` and the ``trigger(observation) -> actions`` hook.
+AdaptiveFault = Union[CrashWhen, TurnByzantineWhen, CutLinkWhen]
+
+#: Concrete adaptive fault types accepted by ``ScenarioSpec.adaptive``.
+ADAPTIVE_FAULT_TYPES = (CrashWhen, TurnByzantineWhen, CutLinkWhen)
+
+
+class AdaptiveController:
+    """Per-run trigger state of a spec's adaptive faults.
+
+    Both execution backends feed every run observation through
+    :meth:`observe`; each fault fires exactly once, after its filter
+    matched ``count`` times.  The controller is deliberately
+    backend-agnostic — *applying* the returned actions (crashing a node,
+    cutting a link, swapping a protocol) is the backend's job.
+    """
+
+    def __init__(self, faults: Tuple[AdaptiveFault, ...]) -> None:
+        self.faults = tuple(faults)
+        self._matched = [0] * len(self.faults)
+        self._fired = [False] * len(self.faults)
+
+    def observe(self, observation: Observation) -> List[AdaptiveAction]:
+        """Actions of every fault whose trigger ``observation`` completes."""
+        actions: List[AdaptiveAction] = []
+        for index, fault in enumerate(self.faults):
+            if self._fired[index]:
+                continue
+            if not fault.after.matches(observation):
+                continue
+            self._matched[index] += 1
+            if self._matched[index] >= fault.count:
+                self._fired[index] = True
+                actions.extend(fault.actions())
+        return actions
+
+    @property
+    def fired(self) -> Tuple[AdaptiveFault, ...]:
+        """The faults whose triggers have fired so far."""
+        return tuple(
+            fault
+            for index, fault in enumerate(self.faults)
+            if self._fired[index]
+        )
+
+
+__all__ = [
+    "CrashAt",
+    "LinkDropWindow",
+    "DelayedStart",
+    "FaultEvent",
+    "OBSERVATION_KINDS",
+    "ObservationFilter",
+    "CrashAction",
+    "ByzantineAction",
+    "LinkDownAction",
+    "AdaptiveAction",
+    "CrashWhen",
+    "TurnByzantineWhen",
+    "CutLinkWhen",
+    "AdaptiveFault",
+    "ADAPTIVE_FAULT_TYPES",
+    "AdaptiveController",
+]

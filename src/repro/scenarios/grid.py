@@ -11,6 +11,13 @@ Workloads are an axis like any other: ``expand_grid(base, {"workload":
 over the single-broadcast form and a sensor-style repeated workload, and
 the scenario hash keeps their cache slots apart (a trivial workload
 normalizes to ``None`` and shares the legacy slot by design).
+
+So are message loss and adaptive adversaries: ``expand_grid(base,
+{"delay.loss": [0.0, 0.05, 0.2]})`` sweeps the same scenario over
+increasingly lossy links, and ``{"adaptive": [(), (CrashWhen(pid=0,
+after=ObservationFilter(kind="send"), count=3),)]}`` compares the
+fault-free run against a trigger-driven source crash.  Cells whose new
+fields sit at their defaults keep their pre-loss hashes and cache slots.
 """
 
 from __future__ import annotations

@@ -10,8 +10,11 @@ results carry full :class:`~repro.metrics.collector.RunMetrics`
 snapshots plus per-broadcast
 :class:`~repro.scenarios.engine.BroadcastOutcome` tuples — but raw
 ``pickle.loads`` turns a corrupt frame into an
-arbitrary exception (or an arbitrary object).  These helpers pin the
-failure mode instead:
+arbitrary exception (or an arbitrary object).  Since wire v3 the spec
+payloads may also embed lossy delay fields and adaptive fault classes
+(:class:`~repro.scenarios.faults.ObservationFilter` and friends), which
+is why mixed-version pairs are rejected at the envelope layer before any
+body reaches these helpers.  They pin the failure mode instead:
 
 * any unpickling problem — truncated payload, garbage bytes, a payload
   produced by an incompatible code version — raises

@@ -29,11 +29,18 @@ from repro.core.modifications import ModificationSet
 from repro.network.adversary import BEHAVIOUR_NAMES
 from repro.network.simulation.delays import (
     AsynchronousDelay,
+    BurstyLossWindow,
     DelayModel,
     FixedDelay,
+    LossyDelay,
     UniformDelay,
 )
-from repro.scenarios.faults import FaultEvent
+from repro.scenarios.faults import (
+    ADAPTIVE_FAULT_TYPES,
+    AdaptiveFault,
+    FaultEvent,
+    TurnByzantineWhen,
+)
 from repro.scenarios.placement import PLACEMENT_STRATEGIES
 from repro.topology.generators import (
     Topology,
@@ -107,6 +114,15 @@ class DelaySpec:
     ``kind`` is ``"fixed"`` (the paper's synchronous 50 ms setting),
     ``"normal"`` (the asynchronous Normal(mean, std) setting) or
     ``"uniform"`` (delays drawn from ``[low_ms, high_ms]``).
+
+    The loss fields make the links unreliable on top of any kind:
+    ``loss`` drops each message independently with that probability
+    (:class:`~repro.network.simulation.delays.LossyDelay`), and a
+    positive ``burst_period_ms`` adds periodic outage bursts of
+    ``burst_len_ms``
+    (:class:`~repro.network.simulation.delays.BurstyLossWindow`).  The
+    lossless defaults are suppressed from the scenario hash, so every
+    pre-loss spec keeps its hash, golden summary and cache slot.
     """
 
     kind: str = "fixed"
@@ -114,22 +130,67 @@ class DelaySpec:
     std_ms: float = 50.0
     low_ms: float = 10.0
     high_ms: float = 100.0
+    loss: float = 0.0
+    burst_period_ms: float = 0.0
+    burst_len_ms: float = 0.0
 
     _KINDS = ("fixed", "normal", "uniform")
+    # Lossless defaults are omitted from the canonical hash form (see
+    # ``_canonical``) so pre-loss scenario hashes stay valid.
+    _HASH_SUPPRESS_DEFAULTS = {
+        "loss": 0.0,
+        "burst_period_ms": 0.0,
+        "burst_len_ms": 0.0,
+    }
 
     def __post_init__(self) -> None:
         if self.kind not in self._KINDS:
             raise ConfigurationError(
                 f"unknown delay kind {self.kind!r}; expected one of {self._KINDS}"
             )
+        if not 0.0 <= self.loss <= 1.0:
+            raise ConfigurationError(
+                f"loss probability must be within [0, 1], got {self.loss}"
+            )
+        if self.burst_period_ms < 0 or self.burst_len_ms < 0:
+            raise ConfigurationError(
+                "burst window times must be non-negative, got "
+                f"period={self.burst_period_ms}, len={self.burst_len_ms}"
+            )
+        if self.burst_len_ms > 0 and self.burst_period_ms <= 0:
+            raise ConfigurationError(
+                "a burst length needs a positive burst_period_ms"
+            )
+        if self.burst_period_ms > 0 and self.burst_len_ms > self.burst_period_ms:
+            raise ConfigurationError(
+                f"burst_len_ms ({self.burst_len_ms}) must not exceed "
+                f"burst_period_ms ({self.burst_period_ms})"
+            )
+
+    @property
+    def is_lossy(self) -> bool:
+        """Whether this delay regime may lose messages."""
+        return self.loss > 0.0 or (
+            self.burst_period_ms > 0.0 and self.burst_len_ms > 0.0
+        )
 
     def build(self) -> DelayModel:
-        """Instantiate the matching :class:`DelayModel`."""
+        """Instantiate the matching :class:`DelayModel` (loss wrapped last)."""
         if self.kind == "fixed":
-            return FixedDelay(self.mean_ms)
-        if self.kind == "normal":
-            return AsynchronousDelay(self.mean_ms, self.std_ms)
-        return UniformDelay(self.low_ms, self.high_ms)
+            model: DelayModel = FixedDelay(self.mean_ms)
+        elif self.kind == "normal":
+            model = AsynchronousDelay(self.mean_ms, self.std_ms)
+        else:
+            model = UniformDelay(self.low_ms, self.high_ms)
+        if self.burst_period_ms > 0.0 and self.burst_len_ms > 0.0:
+            model = BurstyLossWindow(
+                base=model,
+                period_ms=self.burst_period_ms,
+                burst_ms=self.burst_len_ms,
+            )
+        if self.loss > 0.0:
+            model = LossyDelay(base=model, loss_probability=self.loss)
+        return model
 
 
 @dataclass(frozen=True)
@@ -368,13 +429,39 @@ class ScenarioSpec:
     #: ``None`` at construction, so it compares, hashes and caches
     #: exactly like the equivalent pre-workload spec.
     workload: Optional[WorkloadSpec] = None
+    #: Adaptive (trigger-driven) adversary faults; see
+    #: :mod:`repro.scenarios.faults`.  The empty default is suppressed
+    #: from the scenario hash so pre-adaptive hashes stay valid.
+    adaptive: Tuple[AdaptiveFault, ...] = ()
+
+    # Defaults omitted from the canonical hash form (see ``_canonical``
+    # and :meth:`scenario_hash`): hashes of specs predating each field
+    # stay valid, which the golden files pin.  Values are compared
+    # post-canonicalization (tuples become lists).
+    _HASH_SUPPRESS_DEFAULTS = {
+        "backend": "simulation",
+        "workload": None,
+        "adaptive": [],
+    }
 
     def __post_init__(self) -> None:
-        requested = sum(spec.count for spec in self.adversaries)
+        converted = {
+            fault.pid
+            for fault in self.adaptive
+            if isinstance(fault, TurnByzantineWhen)
+        }
+        requested = sum(spec.count for spec in self.adversaries) + len(converted)
         if requested > self.f:
             raise ConfigurationError(
-                f"{requested} Byzantine processes requested but f={self.f}"
+                f"{requested} Byzantine processes requested (static placements "
+                f"plus adaptive conversions) but f={self.f}"
             )
+        for fault in self.adaptive:
+            if not isinstance(fault, ADAPTIVE_FAULT_TYPES):
+                raise ConfigurationError(
+                    f"unknown adaptive fault {fault!r}; expected one of "
+                    f"{tuple(t.__name__ for t in ADAPTIVE_FAULT_TYPES)}"
+                )
         if self.backend not in BACKEND_NAMES:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of {BACKEND_NAMES}"
@@ -441,41 +528,67 @@ class ScenarioSpec:
         """A copy of this scenario running a different broadcast workload."""
         return replace(self, workload=workload)
 
+    def with_delay(self, delay: DelaySpec) -> "ScenarioSpec":
+        """A copy of this scenario under a different delay regime."""
+        return replace(self, delay=delay)
+
+    def with_adaptive(self, adaptive: Tuple[AdaptiveFault, ...]) -> "ScenarioSpec":
+        """A copy of this scenario with different adaptive faults."""
+        return replace(self, adaptive=tuple(adaptive))
+
+    @property
+    def is_lossy(self) -> bool:
+        """Whether the links may lose messages (lossy delay regime)."""
+        return self.delay.is_lossy
+
+    @property
+    def is_adaptive(self) -> bool:
+        """Whether the scenario carries adaptive (trigger-driven) faults."""
+        return bool(self.adaptive)
+
     def scenario_hash(self) -> str:
         """Stable hex digest identifying this scenario.
 
         Used as the parallel executor's cache key: two specs with equal
         fields hash identically across processes and interpreter runs
-        (unlike ``hash()``, which is salted per interpreter).  The
-        backend is part of the key — an asyncio cell never shadows the
-        simulation cell of the same scenario — but the default
-        ``"simulation"`` is omitted from the canonical form so hashes of
-        pre-backend specs stay valid (the golden files pin them; note
-        the executor's pickle cache was still invalidated by its own
-        ``_CACHE_VERSION`` bump when this field was introduced).  The
-        workload is part of the key the same way: a multi-broadcast cell
-        never shadows the single-broadcast cell of the same scenario,
-        while the legacy ``workload=None`` form (which every trivial
-        workload normalizes to) is omitted so pre-workload hashes stay
-        valid too.
+        (unlike ``hash()``, which is salted per interpreter).  Every
+        discriminating field is part of the key — the backend (an
+        asyncio cell never shadows the simulation cell of the same
+        scenario), the workload, the delay-loss fields and the adaptive
+        faults — but fields still at the value they had before they
+        existed are omitted from the canonical form (see the
+        ``_HASH_SUPPRESS_DEFAULTS`` maps on the spec classes), so hashes
+        of specs predating each feature stay valid.  The golden files
+        pin them; the executors' pickle caches are still invalidated by
+        their own version bumps whenever the record layout changes.
         """
-        fields_dict = _canonical(self)
-        if fields_dict.get("backend") == "simulation":
-            del fields_dict["backend"]
-        if fields_dict.get("workload") is None:
-            fields_dict.pop("workload", None)
-        canonical = json.dumps(fields_dict, sort_keys=True, separators=(",", ":"))
+        canonical = json.dumps(
+            _canonical(self), sort_keys=True, separators=(",", ":")
+        )
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _canonical(value):
-    """Recursively convert a spec to JSON-serializable canonical form."""
+    """Recursively convert a spec to JSON-serializable canonical form.
+
+    Dataclasses may declare a ``_HASH_SUPPRESS_DEFAULTS`` class attribute
+    mapping field names to their canonicalized historical default: a
+    field still holding that default is dropped from the canonical form,
+    which is how new spec fields are introduced without invalidating the
+    hashes (and therefore golden files and cache slots) of every spec
+    that does not use them.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields_dict = {
             f.name: _canonical(getattr(value, f.name))
             for f in dataclasses.fields(value)
             if f.compare
         }
+        suppress = getattr(type(value), "_HASH_SUPPRESS_DEFAULTS", None)
+        if suppress:
+            for name, default in suppress.items():
+                if name in fields_dict and fields_dict[name] == default:
+                    del fields_dict[name]
         return {"__type__": type(value).__name__, **fields_dict}
     if isinstance(value, (tuple, list)):
         return [_canonical(item) for item in value]

@@ -1,0 +1,189 @@
+"""Unit tests of the safety oracle itself.
+
+The oracle is only trustworthy if it actually fires: these tests craft
+results that violate each invariant — a forged delivery, an agreement
+split, a wrong payload, a missing delivery — and assert the matching
+:class:`OracleViolation` is reported, alongside the green paths and the
+randomized grid sampler's determinism and spec-validity guarantees.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenarios import (
+    CrashWhen,
+    CutLinkWhen,
+    DelaySpec,
+    LinkDropWindow,
+    ObservationFilter,
+    ScenarioSpec,
+    TopologySpec,
+    TurnByzantineWhen,
+    run_scenario,
+)
+from repro.scenarios.oracle import (
+    assert_safe,
+    check_agreement,
+    check_no_forgery,
+    check_result,
+    check_totality,
+    check_validity,
+    sample_lossy_adaptive_specs,
+    totality_expected,
+)
+
+
+@pytest.fixture()
+def clean_result():
+    spec = ScenarioSpec(
+        name="oracle-clean",
+        topology=TopologySpec(kind="complete", n=5),
+        delay=DelaySpec(kind="fixed", mean_ms=5.0),
+        f=0,
+        seed=3,
+    )
+    return run_scenario(spec)
+
+
+def _with_outcome(result, **changes):
+    """The result with its single outcome shallow-patched."""
+    (outcome,) = result.outcomes
+    return dataclasses.replace(
+        result, outcomes=(dataclasses.replace(outcome, **changes),)
+    )
+
+
+class TestInvariantChecks:
+    def test_clean_run_is_green(self, clean_result):
+        assert check_result(clean_result) == []
+        assert_safe(clean_result)  # must not raise
+
+    def test_agreement_violation_detected(self, clean_result):
+        broken = _with_outcome(clean_result, agreement_holds=False)
+        violations = check_agreement(broken)
+        assert [v.invariant for v in violations] == ["agreement"]
+        with pytest.raises(AssertionError, match="agreement"):
+            assert_safe(broken)
+
+    def test_validity_violation_detected(self, clean_result):
+        broken = _with_outcome(clean_result, validity_holds=False)
+        violations = check_validity(broken)
+        assert [v.invariant for v in violations] == ["validity"]
+        with pytest.raises(AssertionError, match="validity"):
+            assert_safe(broken)
+
+    def test_forged_delivery_detected(self, clean_result):
+        # Inject a delivery of an unscheduled broadcast attributed to the
+        # correct process 2 into the run's metrics.
+        metrics = clean_result.metrics
+        forged_key = (2, (2, 9))  # process 2 "delivered" (source=2, bid=9)
+        patched = dataclasses.replace(
+            metrics,
+            delivery_times={**metrics.delivery_times, forged_key: 1.0},
+            delivered_payloads={**metrics.delivered_payloads, forged_key: b"x"},
+        )
+        broken = dataclasses.replace(clean_result, metrics=patched)
+        violations = check_no_forgery(broken)
+        assert violations and violations[0].invariant == "no_forgery"
+        assert "(2, 9)" in violations[0].detail
+
+    def test_byzantine_source_may_inject_broadcasts(self, clean_result):
+        # The same unscheduled key is fine when its source is Byzantine.
+        metrics = clean_result.metrics
+        forged_key = (2, (4, 9))
+        patched = dataclasses.replace(
+            metrics,
+            delivery_times={**metrics.delivery_times, forged_key: 1.0},
+            delivered_payloads={**metrics.delivered_payloads, forged_key: b"x"},
+        )
+        broken = dataclasses.replace(
+            clean_result,
+            metrics=patched,
+            byzantine=((4, "forge"),),
+            correct_processes=(0, 1, 2, 3),
+        )
+        assert check_no_forgery(broken) == []
+
+    def test_totality_violation_detected(self, clean_result):
+        broken = _with_outcome(
+            clean_result, all_correct_delivered=False, delivered_processes=(0, 1)
+        )
+        violations = check_totality(broken)
+        assert violations and violations[0].invariant == "totality"
+
+    def test_totality_vacuous_for_byzantine_source(self, clean_result):
+        broken = dataclasses.replace(
+            _with_outcome(clean_result, all_correct_delivered=False),
+            byzantine=((0, "mute"),),
+        )
+        assert check_totality(broken) == []
+
+
+class TestTotalityExpected:
+    def test_reliable_static_spec_expects_totality(self):
+        spec = ScenarioSpec(topology=TopologySpec(kind="complete", n=5))
+        assert totality_expected(spec)
+
+    def test_lossy_spec_does_not(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", loss=0.1),
+        )
+        assert not totality_expected(spec)
+
+    def test_adaptive_spec_does_not(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            adaptive=(CrashWhen(pid=0, after=ObservationFilter(kind="send")),),
+        )
+        assert not totality_expected(spec)
+
+    def test_statically_faulted_spec_does_not(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            faults=(LinkDropWindow(u=0, v=1),),
+        )
+        assert not totality_expected(spec)
+
+
+class TestSampler:
+    def test_sampler_is_seed_deterministic(self):
+        assert sample_lossy_adaptive_specs(12, seed=5) == sample_lossy_adaptive_specs(
+            12, seed=5
+        )
+        assert sample_lossy_adaptive_specs(12, seed=5) != sample_lossy_adaptive_specs(
+            12, seed=6
+        )
+
+    def test_sampler_mixes_lossy_and_adaptive_cells(self):
+        cells = sample_lossy_adaptive_specs(40, seed=1)
+        assert len(cells) == 40
+        assert any(cell.is_lossy for cell in cells)
+        assert any(cell.is_adaptive for cell in cells)
+        assert any(
+            not cell.is_lossy and not cell.is_adaptive for cell in cells
+        ), "some cells must exercise totality"
+
+    def test_sampler_respects_the_fault_budget(self):
+        for cell in sample_lossy_adaptive_specs(40, seed=2):
+            static = sum(adv.count for adv in cell.adversaries)
+            converted = len(
+                {
+                    fault.pid
+                    for fault in cell.adaptive
+                    if isinstance(fault, TurnByzantineWhen)
+                }
+            )
+            assert static + converted <= cell.f
+
+    def test_sampler_targets_the_requested_backend(self):
+        cells = sample_lossy_adaptive_specs(3, seed=0, backend="asyncio")
+        assert all(cell.backend == "asyncio" for cell in cells)
+
+    def test_sampler_cut_links_exist_in_the_topology(self):
+        for cell in sample_lossy_adaptive_specs(40, seed=3):
+            for fault in cell.adaptive:
+                if isinstance(fault, CutLinkWhen):
+                    topology = cell.topology.build(cell.seed)
+                    assert topology.has_edge(fault.u, fault.v)

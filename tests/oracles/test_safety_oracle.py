@@ -1,0 +1,143 @@
+"""Safety-oracle harness over randomized lossy/adaptive grids (simulation).
+
+The headline contract of the scenario engine's loss and adaptive
+machinery: whatever messages the lossy links lose and whenever the
+trigger-driven adversaries fire, no run may violate the paper's safety
+invariants — no forged delivery, agreement among correct deliverers,
+validity under a correct source — and loss-free, trigger-free cells must
+still deliver everywhere (totality).
+
+The fast smoke covers a small deterministic grid on every CI lane; the
+slow job sweeps >= 50 randomized cells through the parallel executor,
+which simultaneously pins that lossy/adaptive cells survive the
+multiprocessing round trip with results equal to the inline path.
+"""
+
+import pytest
+
+from repro.runner.parallel import run_sweep
+from repro.scenarios import (
+    CrashWhen,
+    DelaySpec,
+    ObservationFilter,
+    ScenarioSpec,
+    TopologySpec,
+    TurnByzantineWhen,
+    expand_grid,
+    run_scenario,
+)
+from repro.scenarios.oracle import (
+    assert_safe,
+    check_result,
+    sample_lossy_adaptive_specs,
+)
+
+#: Slow-job grid size (acceptance floor: >= 50 sampled cells).
+SLOW_CELL_COUNT = 60
+
+
+class TestOracleSmoke:
+    """Small deterministic grid, fast enough for every tier-1 lane."""
+
+    def test_lossy_grid_preserves_safety(self):
+        base = ScenarioSpec(
+            name="oracle-smoke-lossy",
+            topology=TopologySpec(kind="complete", n=6),
+            delay=DelaySpec(kind="fixed", mean_ms=8.0),
+            f=1,
+            seed=17,
+        )
+        cells = expand_grid(
+            base, {"delay.loss": [0.0, 0.05, 0.2], "seed": range(17, 20)}
+        )
+        for cell in cells:
+            assert_safe(run_scenario(cell))
+
+    def test_adaptive_grid_preserves_safety(self):
+        base = ScenarioSpec(
+            name="oracle-smoke-adaptive",
+            topology=TopologySpec(kind="complete", n=6),
+            delay=DelaySpec(kind="fixed", mean_ms=8.0),
+            f=1,
+            seed=29,
+        )
+        cells = expand_grid(
+            base,
+            {
+                "adaptive": [
+                    (),
+                    (
+                        CrashWhen(
+                            pid=0,
+                            after=ObservationFilter(kind="send"),
+                            count=2,
+                        ),
+                    ),
+                    (
+                        TurnByzantineWhen(
+                            pid=2,
+                            after=ObservationFilter(kind="deliver", pid=2),
+                            behaviour="forge",
+                        ),
+                    ),
+                ],
+                "seed": range(29, 32),
+            },
+        )
+        for cell in cells:
+            assert_safe(run_scenario(cell))
+
+    def test_adaptive_crash_actually_fires(self):
+        spec = ScenarioSpec(
+            name="oracle-smoke-fire",
+            topology=TopologySpec(kind="complete", n=6),
+            delay=DelaySpec(kind="fixed", mean_ms=8.0),
+            f=1,
+            seed=17,
+            adaptive=(
+                CrashWhen(pid=0, after=ObservationFilter(kind="send"), count=2),
+            ),
+        )
+        result = run_scenario(spec)
+        assert 0 in result.crashed
+        assert 0 not in result.correct_processes
+
+    def test_adaptive_conversion_is_accounted_byzantine(self):
+        spec = ScenarioSpec(
+            name="oracle-smoke-convert",
+            topology=TopologySpec(kind="complete", n=6),
+            delay=DelaySpec(kind="fixed", mean_ms=8.0),
+            f=1,
+            seed=17,
+            adaptive=(
+                TurnByzantineWhen(
+                    pid=3, after=ObservationFilter(kind="deliver", pid=3)
+                ),
+            ),
+        )
+        result = run_scenario(spec)
+        assert (3, "mute") in result.byzantine
+        assert 3 not in result.correct_processes
+        assert_safe(result)
+
+
+@pytest.mark.slow
+class TestOracleRandomizedSweep:
+    """The >= 50-cell randomized grid, fanned out over the executor."""
+
+    def test_randomized_lossy_adaptive_sweep_is_safe(self):
+        cells = sample_lossy_adaptive_specs(SLOW_CELL_COUNT, seed=20260731)
+        assert len(cells) >= 50
+        results = run_sweep(cells, workers=4)
+        violations = [
+            (cell.name, violation)
+            for cell, result in zip(cells, results)
+            for violation in check_result(result)
+        ]
+        assert violations == [], f"oracle violations: {violations}"
+
+    def test_randomized_sweep_matches_inline_execution(self):
+        # Lossy/adaptive cells obey the same executor-equality contract
+        # as every other cell: parallel == serial, in order.
+        cells = sample_lossy_adaptive_specs(10, seed=77)
+        assert run_sweep(cells, workers=3) == [run_scenario(cell) for cell in cells]

@@ -1,0 +1,158 @@
+"""Safety-oracle harness on the asyncio backend (live localhost sockets).
+
+The cross-backend half of the oracle contract: lossy and adaptive cells
+must preserve the safety invariants on real sockets too, and
+cross-backend conformance for such cells compares *safety verdicts* —
+which messages a lossy link loses legitimately differs between a seeded
+simulation and the wall clock, so delivery traces are out of scope by
+design (``run_conformance``'s ``auto`` mode resolves to ``safety``).
+
+Socket scenarios are expensive: the grid here is small, while the
+simulation-side randomized sweep (test_safety_oracle.py) carries the
+>= 50-cell load.  Every test is marked slow and runs in the CI
+asyncio-backend job under pytest-timeout.
+"""
+
+import pytest
+
+from repro.scenarios import (
+    CrashWhen,
+    DelaySpec,
+    ObservationFilter,
+    ScenarioSpec,
+    TopologySpec,
+    TurnByzantineWhen,
+    run_conformance,
+    run_scenario,
+)
+from repro.scenarios.backends import AsyncioBackend
+from repro.scenarios.oracle import assert_safe, sample_lossy_adaptive_specs
+
+pytestmark = pytest.mark.slow
+
+#: Lossy cells may never reach totality; a short delivery wait freezes
+#: the partial outcome instead of stalling CI for the default 20 s.
+FAST_BACKEND = {"delivery_timeout_s": 3.0}
+
+
+def fast_backend() -> AsyncioBackend:
+    return AsyncioBackend(**FAST_BACKEND)
+
+
+class TestAsyncioOracle:
+    def test_randomized_cells_preserve_safety_on_sockets(self):
+        cells = sample_lossy_adaptive_specs(6, seed=424242, backend="asyncio")
+        backend = fast_backend()
+        for cell in cells:
+            assert_safe(run_scenario(cell, backend=backend))
+
+    def test_lossy_run_drops_messages_on_sockets(self):
+        spec = ScenarioSpec(
+            name="asyncio-lossy",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0, loss=0.15),
+            f=1,
+            seed=5,
+            backend="asyncio",
+        )
+        result = run_scenario(spec, backend=fast_backend())
+        assert result.dropped_messages > 0
+        assert_safe(result)
+
+    def test_adaptive_crash_does_not_stall_the_delivery_wait(self):
+        # Pid 0 is crashed mid-run by the trigger and can never deliver;
+        # the run must finish as soon as the survivors delivered, not
+        # block for the whole delivery timeout waiting on the corpse.
+        import time
+
+        spec = ScenarioSpec(
+            name="asyncio-crash-wait",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            f=1,
+            seed=3,
+            backend="asyncio",
+            adaptive=(
+                CrashWhen(pid=0, after=ObservationFilter(kind="send"), count=3),
+            ),
+        )
+        backend = AsyncioBackend(delivery_timeout_s=15.0)
+        started = time.monotonic()
+        result = run_scenario(spec, backend=backend)
+        elapsed = time.monotonic() - started
+        assert 0 in result.crashed
+        assert elapsed < 10.0, f"run stalled on the crashed node ({elapsed:.1f}s)"
+        assert_safe(result)
+
+    def test_adaptive_conversion_fires_on_sockets(self):
+        spec = ScenarioSpec(
+            name="asyncio-adaptive",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            f=1,
+            seed=7,
+            backend="asyncio",
+            adaptive=(
+                TurnByzantineWhen(
+                    pid=2, after=ObservationFilter(kind="deliver", pid=2)
+                ),
+            ),
+        )
+        result = run_scenario(spec, backend=fast_backend())
+        assert (2, "mute") in result.byzantine
+        assert_safe(result)
+
+
+class TestLossyConformance:
+    def test_lossy_conformance_compares_safety_verdicts(self):
+        spec = ScenarioSpec(
+            name="conformance-lossy",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0, loss=0.1),
+            f=1,
+            seed=23,
+        )
+        report = run_conformance(spec, overrides={"asyncio": fast_backend()})
+        assert report.mode == "safety"
+        assert report.agree, report.mismatches()
+
+    def test_bursty_conformance_agrees(self):
+        spec = ScenarioSpec(
+            name="conformance-bursty",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(
+                kind="fixed", mean_ms=5.0, burst_period_ms=40.0, burst_len_ms=10.0
+            ),
+            f=0,
+            seed=31,
+        )
+        report = run_conformance(spec, overrides={"asyncio": fast_backend()})
+        assert report.mode == "safety"
+        assert report.agree, report.mismatches()
+
+    def test_adaptive_conformance_agrees(self):
+        spec = ScenarioSpec(
+            name="conformance-adaptive",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            f=1,
+            seed=41,
+            adaptive=(
+                CrashWhen(pid=0, after=ObservationFilter(kind="send"), count=3),
+            ),
+        )
+        report = run_conformance(spec, overrides={"asyncio": fast_backend()})
+        assert report.mode == "safety"
+        assert report.agree, report.mismatches()
+
+    def test_reliable_specs_keep_the_full_comparison(self):
+        spec = ScenarioSpec(
+            name="conformance-full",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            f=0,
+            seed=51,
+        )
+        report = run_conformance(spec, overrides={"asyncio": fast_backend()})
+        assert report.mode == "full"
+        assert report.agree, report.mismatches()

@@ -22,7 +22,14 @@ from repro.scenarios import (
     TopologySpec,
     get_backend,
 )
-from repro.scenarios.backends import DeferredStart, LinkDropFilter, NodeCrash
+from repro.scenarios import CrashWhen, DelaySpec, ObservationFilter, TurnByzantineWhen
+from repro.scenarios.backends import (
+    ConnectionBurst,
+    ConnectionLoss,
+    DeferredStart,
+    LinkDropFilter,
+    NodeCrash,
+)
 from repro.topology.generators import harary_topology
 
 
@@ -96,6 +103,170 @@ class TestFaultTranslation:
         )
         with pytest.raises(ConfigurationError):
             AsyncioBackend().validate(spec)
+
+
+class TestLossTranslation:
+    """plan_loss is pure: connection filters from the spec's delay regime."""
+
+    def _spec(self, **delay_kwargs):
+        return ScenarioSpec(
+            name="loss-plan",
+            topology=TopologySpec(kind="complete", n=4),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0, **delay_kwargs),
+            f=0,
+            seed=9,
+        )
+
+    def test_lossless_spec_plans_nothing(self):
+        spec = self._spec()
+        backend = AsyncioBackend()
+        losses, bursts = backend.plan_loss(spec, spec.topology.build(spec.seed))
+        assert losses == [] and bursts == []
+
+    def test_one_loss_filter_per_undirected_link(self):
+        spec = self._spec(loss=0.2)
+        backend = AsyncioBackend()
+        topology = spec.topology.build(spec.seed)
+        losses, bursts = backend.plan_loss(spec, topology)
+        assert bursts == []
+        assert len(losses) == topology.edge_count
+        assert all(isinstance(loss, ConnectionLoss) for loss in losses)
+        assert all(loss.probability == 0.2 for loss in losses)
+        assert all(loss.u < loss.v for loss in losses)
+
+    def test_loss_seeds_derive_from_the_scenario_hash(self):
+        spec = self._spec(loss=0.2)
+        backend = AsyncioBackend()
+        topology = spec.topology.build(spec.seed)
+        losses, _ = backend.plan_loss(spec, topology)
+        # Deterministic: replanning yields identical seeds...
+        again, _ = backend.plan_loss(spec, topology)
+        assert losses == again
+        # ... distinct per link ...
+        assert len({loss.seed for loss in losses}) == len(losses)
+        # ... and distinct per scenario.
+        other, _ = backend.plan_loss(spec.with_seed(10), topology)
+        assert {loss.seed for loss in losses}.isdisjoint(
+            {loss.seed for loss in other}
+        )
+
+    def test_burst_windows_scale_through_time_scale(self):
+        spec = self._spec(burst_period_ms=100.0, burst_len_ms=20.0)
+        backend = AsyncioBackend(time_scale=2e-3)
+        topology = spec.topology.build(spec.seed)
+        losses, bursts = backend.plan_loss(spec, topology)
+        assert losses == []
+        assert len(bursts) == topology.edge_count
+        assert all(isinstance(burst, ConnectionBurst) for burst in bursts)
+        assert bursts[0].period_s == pytest.approx(0.2)
+        assert bursts[0].burst_s == pytest.approx(0.04)
+
+
+class TestNodeLossFilters:
+    def test_loss_filter_is_seed_deterministic(self):
+        decisions = []
+        for _ in range(2):
+            node = AsyncioNode(StubProtocol())
+            node.add_loss_filter(1, 0.5, seed=1234)
+            decisions.append([node.link_dropped(1, 0.0) for _ in range(64)])
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_loss_filter_probability_bounds(self):
+        node = AsyncioNode(StubProtocol())
+        with pytest.raises(ValueError):
+            node.add_loss_filter(1, 1.5, seed=0)
+        node.add_loss_filter(1, 0.0, seed=0)
+        assert not any(node.link_dropped(1, 0.0) for _ in range(16))
+
+    def test_periodic_drop_window_arithmetic(self):
+        node = AsyncioNode(StubProtocol())
+        node.add_periodic_drop_window(1, period_s=1.0, burst_s=0.25)
+        assert node.link_dropped(1, 0.1)
+        assert not node.link_dropped(1, 0.5)
+        assert node.link_dropped(1, 2.2)  # bursts repeat every period
+        with pytest.raises(ValueError):
+            node.add_periodic_drop_window(1, period_s=0.0, burst_s=0.1)
+        with pytest.raises(ValueError):
+            node.add_periodic_drop_window(1, period_s=1.0, burst_s=2.0)
+
+    def test_filters_only_affect_their_peer(self):
+        node = AsyncioNode(StubProtocol())
+        node.add_loss_filter(1, 1.0, seed=0)
+        assert node.link_dropped(1, 0.0)
+        assert not node.link_dropped(2, 0.0)
+
+
+class TestArmAdaptiveOnCluster:
+    """Adaptive triggers drive cluster-level actions (no sockets needed)."""
+
+    def _cluster_and_spec(self, adaptive):
+        topology = harary_topology(5, 3)
+        spec = ScenarioSpec(
+            name="adaptive-arm",
+            topology=TopologySpec(kind="harary", n=5, k=3),
+            f=1,
+            seed=3,
+            adaptive=adaptive,
+        )
+        cluster = AsyncioCluster(
+            topology,
+            SystemConfig.for_system(5, 1),
+            {pid: StubProtocol(pid, topology.neighbors(pid)) for pid in topology.nodes},
+        )
+        return cluster, spec
+
+    def test_trigger_crashes_the_node_after_enough_matches(self):
+        from repro.core.events import Observation
+
+        cluster, spec = self._cluster_and_spec(
+            (CrashWhen(pid=0, after=ObservationFilter(kind="send"), count=2),)
+        )
+        state = AsyncioBackend().arm_adaptive(cluster, spec)
+        observer = cluster.nodes[0].observer
+        observer(Observation(kind="send", time_ms=0.0, pid=0, dest=1))
+        assert not cluster.nodes[0].crashed
+        observer(Observation(kind="send", time_ms=1.0, pid=0, dest=2))
+        assert cluster.nodes[0].crashed
+        assert state.crashed == {0}
+        # The trigger fires exactly once.
+        observer(Observation(kind="send", time_ms=2.0, pid=0, dest=3))
+        assert state.crashed == {0}
+
+    def test_trigger_swaps_the_live_protocol(self):
+        from repro.core.events import Observation
+        from repro.network.adversary import MessageDroppingRelay
+
+        cluster, spec = self._cluster_and_spec(
+            (
+                TurnByzantineWhen(
+                    pid=2,
+                    after=ObservationFilter(kind="deliver", pid=2),
+                    behaviour="drop",
+                ),
+            )
+        )
+        state = AsyncioBackend().arm_adaptive(cluster, spec)
+        original = cluster.nodes[2].protocol
+        cluster.nodes[2].observer(
+            Observation(kind="deliver", time_ms=5.0, pid=2, source=0, bid=0)
+        )
+        swapped = cluster.nodes[2].protocol
+        assert isinstance(swapped, MessageDroppingRelay)
+        assert swapped.inner is original  # live state is kept, not rebuilt
+        assert state.converted == {2: "drop"}
+
+    def test_observations_from_other_nodes_do_not_fire(self):
+        from repro.core.events import Observation
+
+        cluster, spec = self._cluster_and_spec(
+            (CrashWhen(pid=0, after=ObservationFilter(kind="send", pid=0)),)
+        )
+        AsyncioBackend().arm_adaptive(cluster, spec)
+        cluster.nodes[1].observer(
+            Observation(kind="send", time_ms=0.0, pid=1, dest=0)
+        )
+        assert not cluster.nodes[0].crashed
 
 
 class TestArmOnCluster:

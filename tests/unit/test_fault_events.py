@@ -2,14 +2,18 @@
 
 import pytest
 
-from repro.core.errors import ConfigurationError
+from repro.core.errors import ConfigurationError, SpecError
 from repro.scenarios import (
     CrashAt,
+    CrashWhen,
+    CutLinkWhen,
     DelayedStart,
     DelaySpec,
     LinkDropWindow,
+    ObservationFilter,
     ScenarioSpec,
     TopologySpec,
+    TurnByzantineWhen,
     run_scenario,
 )
 
@@ -140,3 +144,109 @@ class TestDelayedStart:
     def test_negative_start_time_rejected(self):
         with pytest.raises(ConfigurationError):
             run_scenario(ring_spec(faults=(DelayedStart(pid=3, time_ms=-1.0),)))
+
+
+class TestConstructionTimeValidation:
+    """Malformed fault events fail where they are written (SpecError).
+
+    Regression: a ``LinkDropWindow`` with ``end < start`` or negative
+    times used to pass construction silently and only blow up (or worse,
+    silently never match) deep inside a run.
+    """
+
+    def test_backwards_window_rejected_at_construction(self):
+        with pytest.raises(SpecError, match="ends before it starts"):
+            LinkDropWindow(u=0, v=1, start_ms=10.0, end_ms=5.0)
+
+    def test_negative_window_start_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            LinkDropWindow(u=0, v=1, start_ms=-1.0)
+
+    def test_negative_window_end_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            LinkDropWindow(u=0, v=1, start_ms=0.0, end_ms=-5.0)
+
+    def test_empty_window_is_allowed(self):
+        # A zero-length window [t, t) is legal (drops nothing) — only a
+        # genuinely backwards window is a spec bug.
+        window = LinkDropWindow(u=0, v=1, start_ms=10.0, end_ms=10.0)
+        assert window.end_ms == window.start_ms
+
+    def test_negative_crash_time_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            CrashAt(pid=1, time_ms=-0.5)
+
+    def test_negative_delayed_start_rejected_at_construction(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            DelayedStart(pid=1, time_ms=-1.0)
+
+    def test_spec_error_is_a_configuration_error(self):
+        # Callers catching the broader class keep working.
+        assert issubclass(SpecError, ConfigurationError)
+
+
+class TestAdaptiveFaultValidation:
+    def test_unknown_observation_kind_rejected(self):
+        with pytest.raises(SpecError, match="observation kind"):
+            ObservationFilter(kind="receive")
+
+    def test_zero_trigger_count_rejected(self):
+        with pytest.raises(SpecError, match="count"):
+            CrashWhen(pid=0, after=ObservationFilter(kind="send"), count=0)
+
+    def test_equivocate_conversion_rejected(self):
+        with pytest.raises(SpecError, match="equivocation"):
+            TurnByzantineWhen(pid=1, behaviour="equivocate")
+
+    def test_non_positive_cut_duration_rejected(self):
+        with pytest.raises(SpecError, match="duration"):
+            CutLinkWhen(u=0, v=1, duration_ms=0.0)
+
+    def test_conversions_count_against_the_fault_budget(self):
+        with pytest.raises(ConfigurationError, match="f=0"):
+            ScenarioSpec(
+                topology=TopologySpec(kind="ring", n=6),
+                f=0,
+                adaptive=(TurnByzantineWhen(pid=2),),
+            )
+
+    def test_adaptive_crashes_do_not_consume_the_budget(self):
+        # A crash is a benign fault, not a Byzantine corruption.
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="ring", n=6),
+            f=0,
+            adaptive=(CrashWhen(pid=2, after=ObservationFilter(kind="send")),),
+        )
+        assert spec.is_adaptive
+
+    def test_unknown_adaptive_fault_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="adaptive"):
+            ScenarioSpec(
+                topology=TopologySpec(kind="ring", n=6),
+                adaptive=(CrashAt(pid=1),),  # a timed fault is not adaptive
+            )
+
+    def test_adaptive_target_pids_validated_before_the_run(self):
+        # Both backends share validate_topology, so an invalid target is
+        # rejected up front — never discovered (or silently swallowed)
+        # when the trigger fires mid-run.
+        with pytest.raises(ConfigurationError, match="unknown process 99"):
+            run_scenario(
+                ring_spec(
+                    adaptive=(
+                        CrashWhen(pid=99, after=ObservationFilter(kind="send")),
+                    )
+                )
+            )
+
+    def test_adaptive_cut_links_validated_before_the_run(self):
+        with pytest.raises(ConfigurationError, match="missing link"):
+            run_scenario(
+                ring_spec(adaptive=(CutLinkWhen(u=0, v=3),))  # no chord in a ring
+            )
+
+    def test_adaptive_conversion_target_validated_before_the_run(self):
+        with pytest.raises(ConfigurationError, match="unknown process 42"):
+            run_scenario(
+                ring_spec(f=1, adaptive=(TurnByzantineWhen(pid=42),))
+            )

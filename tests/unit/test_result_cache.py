@@ -89,6 +89,42 @@ def test_v3_record_misses_cleanly(tmp_path, spec, result):
     assert cache.load(spec) == result
 
 
+def test_v4_record_misses_cleanly(tmp_path, spec, result):
+    """Regression: a v4 record (pre-loss/adaptive schema) must be skipped.
+
+    The stored record's spec predates ``DelaySpec``'s loss fields and
+    ``ScenarioSpec.adaptive``, so comparing it against a current-build
+    spec would be meaningless (and touching missing attributes could
+    raise); the loader must reject it on the version tag alone and
+    degrade to a clean re-run, mirroring the v3 test above.
+    """
+    cache = ResultCache(tmp_path)
+    path = cache.path_for(spec)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # Emulate the v4 layout: same 3-tuple shape, older version tag, and
+    # spec instances whose __dict__ lacks the loss/adaptive-era fields.
+    stale_delay = object.__new__(type(spec.delay))
+    delay_state = dict(spec.delay.__dict__)
+    for missing in ("loss", "burst_period_ms", "burst_len_ms"):
+        delay_state.pop(missing, None)
+    stale_delay.__dict__.update(delay_state)
+
+    stale_spec = object.__new__(type(spec))
+    spec_state = dict(spec.__dict__)
+    spec_state.pop("adaptive", None)
+    spec_state["delay"] = stale_delay
+    stale_spec.__dict__.update(spec_state)
+
+    stale = object.__new__(type(result))
+    stale.__dict__.update({**result.__dict__, "spec": stale_spec})
+    path.write_bytes(pickle.dumps((4, spec.backend, stale)))
+    assert cache.load(spec) is None
+
+    # The slot is repaired by an honest re-run.
+    cache.store(result)
+    assert cache.load(spec) == result
+
+
 def test_hash_collision_spec_mismatch_degrades_to_miss(tmp_path, spec, result):
     cache = ResultCache(tmp_path)
     cache.store(result)

@@ -7,8 +7,10 @@ from repro.core.modifications import ModificationSet
 from repro.scenarios import (
     AdversarySpec,
     CrashAt,
+    CrashWhen,
     DelaySpec,
     LinkDropWindow,
+    ObservationFilter,
     ScenarioSpec,
     TopologySpec,
     expand_grid,
@@ -16,7 +18,13 @@ from repro.scenarios import (
     place_byzantine,
     seed_cells,
 )
-from repro.network.simulation.delays import AsynchronousDelay, FixedDelay, UniformDelay
+from repro.network.simulation.delays import (
+    AsynchronousDelay,
+    BurstyLossWindow,
+    FixedDelay,
+    LossyDelay,
+    UniformDelay,
+)
 from repro.topology.generators import (
     Topology,
     complete_topology,
@@ -58,6 +66,65 @@ class TestDelaySpec:
         with pytest.raises(ConfigurationError):
             DelaySpec(kind="pareto")
 
+    def test_loss_wraps_the_base_model(self):
+        model = DelaySpec(kind="fixed", mean_ms=20.0, loss=0.25).build()
+        assert isinstance(model, LossyDelay)
+        assert model.loss_probability == 0.25
+        assert isinstance(model.base, FixedDelay)
+        assert model.lossy
+
+    def test_burst_wraps_the_base_model(self):
+        model = DelaySpec(
+            kind="normal", burst_period_ms=100.0, burst_len_ms=25.0
+        ).build()
+        assert isinstance(model, BurstyLossWindow)
+        assert isinstance(model.base, AsynchronousDelay)
+        assert model.in_burst(10.0) and not model.in_burst(60.0)
+
+    def test_loss_and_burst_compose(self):
+        model = DelaySpec(
+            kind="fixed", loss=0.1, burst_period_ms=100.0, burst_len_ms=10.0
+        ).build()
+        assert isinstance(model, LossyDelay)
+        assert isinstance(model.base, BurstyLossWindow)
+
+    def test_is_lossy(self):
+        assert not DelaySpec(kind="fixed").is_lossy
+        assert DelaySpec(kind="fixed", loss=0.01).is_lossy
+        assert DelaySpec(
+            kind="fixed", burst_period_ms=50.0, burst_len_ms=5.0
+        ).is_lossy
+        # A burst period without a burst length loses nothing.
+        assert not DelaySpec(kind="fixed", burst_period_ms=50.0).is_lossy
+
+    def test_invalid_loss_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DelaySpec(kind="fixed", loss=1.5)
+        with pytest.raises(ConfigurationError):
+            DelaySpec(kind="fixed", loss=-0.1)
+        with pytest.raises(ConfigurationError):
+            DelaySpec(kind="fixed", burst_len_ms=10.0)  # no period
+        with pytest.raises(ConfigurationError):
+            DelaySpec(kind="fixed", burst_period_ms=10.0, burst_len_ms=20.0)
+        with pytest.raises(ConfigurationError):
+            DelaySpec(kind="fixed", burst_period_ms=-1.0)
+
+    def test_lossless_defaults_keep_the_scenario_hash(self):
+        # The loss fields at their defaults are suppressed from the
+        # canonical hash form: pre-loss specs (pinned by the golden
+        # files) keep their hashes and cache slots.
+        base = ScenarioSpec(topology=TopologySpec(kind="ring", n=6))
+        explicit = ScenarioSpec(
+            topology=TopologySpec(kind="ring", n=6),
+            delay=DelaySpec(kind="fixed", loss=0.0, burst_period_ms=0.0),
+        )
+        assert explicit.scenario_hash() == base.scenario_hash()
+        lossy = ScenarioSpec(
+            topology=TopologySpec(kind="ring", n=6),
+            delay=DelaySpec(kind="fixed", loss=0.05),
+        )
+        assert lossy.scenario_hash() != base.scenario_hash()
+
 
 class TestScenarioSpec:
     def test_hash_is_stable_and_field_sensitive(self):
@@ -82,6 +149,19 @@ class TestScenarioSpec:
             faults=(LinkDropWindow(u=1, v=2, start_ms=0.0),),
         )
         assert len({base.scenario_hash(), crashed.scenario_hash(), dropped.scenario_hash()}) == 3
+
+    def test_adaptive_faults_are_part_of_the_hash_but_defaults_are_not(self):
+        base = ScenarioSpec(topology=TopologySpec(kind="ring", n=5))
+        assert base.with_adaptive(()).scenario_hash() == base.scenario_hash()
+        adaptive = base.with_adaptive(
+            (CrashWhen(pid=1, after=ObservationFilter(kind="send"), count=2),)
+        )
+        assert adaptive.scenario_hash() != base.scenario_hash()
+        # Trigger parameters discriminate too.
+        other = base.with_adaptive(
+            (CrashWhen(pid=1, after=ObservationFilter(kind="send"), count=3),)
+        )
+        assert other.scenario_hash() != adaptive.scenario_hash()
 
     def test_too_many_adversaries_rejected(self):
         with pytest.raises(ConfigurationError):

@@ -10,9 +10,12 @@ from repro.core.events import SendTo
 from repro.core.messages import BrachaMessage, MessageType
 from repro.brb.bracha import BrachaBroadcast
 from repro.network.simulation.delays import (
+    DROP,
     AsynchronousDelay,
     BandwidthAwareDelay,
+    BurstyLossWindow,
     FixedDelay,
+    LossyDelay,
     UniformDelay,
 )
 from repro.network.simulation.network import SimulatedNetwork
@@ -258,3 +261,123 @@ class TestSimulatedNetwork:
     def test_invalid_shared_bandwidth_rejected(self):
         with pytest.raises(ConfigurationError):
             self._bracha_network(shared_bandwidth_bps=0)
+
+
+class TestLossyDelayModels:
+    def test_drop_sentinel_is_a_pickle_stable_singleton(self):
+        import pickle
+
+        assert pickle.loads(pickle.dumps(DROP)) is DROP
+        assert repr(DROP) == "DROP"
+
+    def test_lossy_delay_drops_deterministically_per_seed(self):
+        model = LossyDelay(base=FixedDelay(10.0), loss_probability=0.5)
+        outcomes = [
+            [
+                model.sample_event(random.Random(7), 0, 1, 100, 0.0)
+                for _ in range(1)
+            ][0]
+            for _ in range(4)
+        ]
+        # A fresh RNG with the same seed always makes the same decision.
+        assert len({o is DROP for o in outcomes}) == 1
+        stream = random.Random(7)
+        draws = [model.sample_event(stream, 0, 1, 100, 0.0) for _ in range(64)]
+        assert any(d is DROP for d in draws)
+        assert any(d == 10.0 for d in draws)
+
+    def test_lossless_models_never_drop(self):
+        rng = random.Random(1)
+        for model in (FixedDelay(5.0), UniformDelay(1.0, 2.0)):
+            assert not model.lossy
+            for _ in range(16):
+                assert model.sample_event(rng, 0, 1, 10, 0.0) is not DROP
+
+    def test_bursty_window_drops_only_inside_bursts(self):
+        model = BurstyLossWindow(
+            base=FixedDelay(5.0), period_ms=100.0, burst_ms=20.0
+        )
+        rng = random.Random(0)
+        assert model.sample_event(rng, 0, 1, 10, 10.0) is DROP
+        assert model.sample_event(rng, 0, 1, 10, 50.0) == 5.0
+        assert model.sample_event(rng, 0, 1, 10, 110.0) is DROP  # next period
+        assert model.in_burst(210.0) and not model.in_burst(250.0)
+
+    def test_invalid_loss_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LossyDelay(base=FixedDelay(), loss_probability=1.5)
+        with pytest.raises(ValueError):
+            BurstyLossWindow(base=FixedDelay(), period_ms=0.0)
+        with pytest.raises(ValueError):
+            BurstyLossWindow(base=FixedDelay(), period_ms=10.0, burst_ms=20.0)
+
+    def test_network_counts_lossy_drops(self):
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        network = SimulatedNetwork(
+            topo,
+            protocols,
+            delay_model=LossyDelay(base=FixedDelay(10.0), loss_probability=0.3),
+            seed=5,
+        )
+        network.broadcast(0, b"value", 0)
+        network.run()
+        assert network.dropped_messages > 0
+
+
+class TestNetworkObserver:
+    def _network(self, **kwargs):
+        config = SystemConfig.for_system(4, 1)
+        topo = complete_topology(4)
+        protocols = {
+            pid: BrachaBroadcast(pid, config, sorted(topo.neighbors(pid)))
+            for pid in topo.nodes
+        }
+        return SimulatedNetwork(topo, protocols, **kwargs)
+
+    def test_observer_sees_sends_and_deliveries(self):
+        network = self._network()
+        seen = []
+        network.observer = seen.append
+        network.broadcast(0, b"value", 0)
+        network.run()
+        kinds = {obs.kind for obs in seen}
+        assert kinds == {"send", "deliver"}
+        sends = [obs for obs in seen if obs.kind == "send"]
+        assert all(obs.mtype in ("SEND", "ECHO", "READY") for obs in sends)
+        delivers = [obs for obs in seen if obs.kind == "deliver"]
+        assert {obs.pid for obs in delivers} == {0, 1, 2, 3}
+        assert all(obs.source == 0 and obs.bid == 0 for obs in delivers)
+
+    def test_observer_crash_suppresses_the_rest_of_the_batch(self):
+        # Crash process 0 the moment its first send is observed: the
+        # remaining sends of the same command batch must not happen.
+        network = self._network()
+
+        def crash_source(observation):
+            if observation.kind == "send" and observation.pid == 0:
+                network.crash(0)
+
+        network.observer = crash_source
+        network.broadcast(0, b"value", 0)
+        metrics = network.run()
+        assert metrics.messages_by_process.get(0, 0) == 1
+
+    def test_replace_protocol_swaps_future_handling(self):
+        network = self._network()
+        from repro.network.adversary import MuteProcess
+
+        network.replace_protocol(2, MuteProcess(2, (0, 1, 3)))
+        network.broadcast(0, b"value", 0)
+        metrics = network.run()
+        assert metrics.messages_by_process.get(2, 0) == 0
+        assert 2 not in metrics.deliveries_for((0, 0))
+
+    def test_replace_unknown_process_rejected(self):
+        network = self._network()
+        with pytest.raises(ConfigurationError):
+            network.replace_protocol(9, object())
