@@ -53,9 +53,15 @@ def _means(results):
     )
 
 
-def test_fig6_scaling_with_number_of_processes(benchmark):
-    # Lay out every cell of the figure — reference and candidates on the
-    # same topologies and seeds — and run them in one parallel sweep.
+def fig6_layout():
+    """Lay out every cell of the figure at the current scale.
+
+    Returns ``(points, cells)``: each point is ``(series name, n, k,
+    reference slice, candidate slice)`` indexing into ``cells``.  The
+    bench ratchet reuses the same grid (fixed seeds, same topologies) so
+    its throughput numbers track exactly the workload this benchmark
+    times.
+    """
     points = []  # (series name, n, k, slice of reference cells, slice of candidate cells)
     cells = []
     for n in SCALE.fig6_ns:
@@ -72,6 +78,13 @@ def test_fig6_scaling_with_number_of_processes(benchmark):
                 cand_slice = slice(len(cells), len(cells) + len(candidate))
                 cells.extend(candidate)
                 points.append((f"{name}, N={n}", n, k, ref_slice, cand_slice))
+    return points, cells
+
+
+def test_fig6_scaling_with_number_of_processes(benchmark):
+    # Reference and candidates on the same topologies and seeds, run in
+    # one parallel sweep.
+    points, cells = fig6_layout()
 
     executor = SweepExecutor(workers=sweep_workers())
 

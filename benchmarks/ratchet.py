@@ -1,0 +1,282 @@
+"""Committed bench ratchet for the simulator hot path.
+
+Runs the fixed-seed scenario grids of ``bench_fig6_scaling`` and
+``bench_scenario_sweep`` serially in-process, measures cell and
+scheduler-event throughput, and tracks the trajectory in
+``BENCH_simulator.json`` at the repository root:
+
+* ``--record --label "..."`` appends a new entry to the committed file
+  (run it after a deliberate perf change, commit the result);
+* ``--check`` re-measures and compares against the last committed entry,
+  failing (exit 1) when throughput regressed by more than ``--margin``
+  (default 15%); the full comparison is written to
+  ``benchmarks/results/ratchet_comparison.json`` for CI artifacts.
+
+Raw cells/sec are not comparable across machines, so every entry stores
+a calibration score — a fixed pure-Python micro-benchmark shaped like
+the simulator hot path (heap churn, dict updates, tuple allocation) —
+and ``--check`` compares calibration-normalized throughput.  The cells
+are run through the same expansion path as ``simulate_scenario``
+(:func:`build_network` / :func:`arm_adaptive` / ``broadcast_at`` /
+``run`` / :func:`freeze_result`), unrolled here only so the scheduler's
+``executed_events`` counter can be read before the network is discarded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import heapq
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Runnable as a plain script from anywhere: the repo root (for the
+# ``benchmarks`` grid modules) and ``src`` (for ``repro``) must both be
+# importable.
+for _path in (str(REPO_ROOT), str(REPO_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+BENCH_FILE = REPO_ROOT / "BENCH_simulator.json"
+COMPARISON_FILE = REPO_ROOT / "benchmarks" / "results" / "ratchet_comparison.json"
+
+#: Iterations of the calibration micro-benchmark (fixed: scores must be
+#: comparable across entries).
+_CALIBRATION_ITERATIONS = 200_000
+
+
+def _fig6_cells():
+    from benchmarks.bench_fig6_scaling import fig6_layout
+
+    return fig6_layout()[1]
+
+
+def _sweep_cells():
+    from benchmarks.bench_scenario_sweep import build_cells
+
+    return [cell for _, cell in build_cells()]
+
+
+#: name -> zero-argument builder of the benchmark's scenario cells.
+BENCHMARKS: Dict[str, Callable[[], list]] = {
+    "fig6_scaling": _fig6_cells,
+    "scenario_sweep": _sweep_cells,
+}
+
+
+def calibration_kops(repeats: int = 3) -> float:
+    """Machine-speed score in kilo-operations/sec (best of ``repeats``).
+
+    A fixed workload over the primitives the simulator hot path leans
+    on — heap push/pop, dict writes, small-tuple allocation — so the
+    score moves with the interpreter and hardware the way the simulator
+    does, and normalizing by it makes entries from different machines
+    roughly comparable.
+    """
+    best = float("inf")
+    for _ in range(repeats):
+        heap: List[Tuple[int, int]] = []
+        table: Dict[int, Tuple[int, int]] = {}
+        started = time.perf_counter()
+        for i in range(_CALIBRATION_ITERATIONS):
+            heapq.heappush(heap, (i % 997, i))
+            if i & 1:
+                heapq.heappop(heap)
+            table[i & 4095] = (i, i + 1)
+        best = min(best, time.perf_counter() - started)
+    return _CALIBRATION_ITERATIONS / best / 1000.0
+
+
+def _run_cell(spec):
+    """One scenario cell, returning ``(result, executed scheduler events)``.
+
+    Mirrors :func:`repro.scenarios.engine.simulate_scenario` exactly;
+    unrolled so the event counter survives the run.
+    """
+    from repro.scenarios.engine import arm_adaptive, build_network, freeze_result
+
+    network, byzantine = build_network(spec)
+    adaptive = arm_adaptive(network, spec, byzantine)
+    for broadcast in spec.broadcasts():
+        network.broadcast_at(
+            broadcast.source,
+            spec.payload_for(broadcast),
+            broadcast.bid,
+            broadcast.start_time_ms,
+        )
+    metrics = network.run(max_events=spec.max_events)
+    result = freeze_result(
+        spec,
+        topology=network.topology,
+        byzantine={**byzantine, **adaptive.converted},
+        metrics=metrics,
+        dropped_messages=network.dropped_messages,
+        extra_crashed=tuple(sorted(adaptive.crashed)),
+    )
+    return result, network.scheduler.executed_events
+
+
+def measure_benchmark(cells, passes: int = 2) -> Dict[str, float]:
+    """Serial throughput over ``cells``: best wall-clock of ``passes`` runs."""
+    best_seconds = float("inf")
+    events = 0
+    messages = 0
+    for _ in range(passes):
+        pass_events = 0
+        pass_messages = 0
+        started = time.perf_counter()
+        for spec in cells:
+            result, cell_events = _run_cell(spec)
+            pass_events += cell_events
+            pass_messages += result.message_count
+        seconds = time.perf_counter() - started
+        if seconds < best_seconds:
+            best_seconds = seconds
+        # The grids are fixed-seed and deterministic: every pass executes
+        # the same events, so keeping the last pass's counts is exact.
+        events = pass_events
+        messages = pass_messages
+    return {
+        "cells": len(cells),
+        "events": events,
+        "messages": messages,
+        "seconds": round(best_seconds, 4),
+        "cells_per_sec": round(len(cells) / best_seconds, 3),
+        "events_per_sec": round(events / best_seconds, 1),
+    }
+
+
+def measure_all(passes: int = 2, echo=print) -> Dict[str, object]:
+    """Measure every registered benchmark plus the calibration score."""
+    entry: Dict[str, object] = {
+        "python": platform.python_version(),
+        "calibration_kops": round(calibration_kops(), 1),
+        "benchmarks": {},
+    }
+    for name, builder in BENCHMARKS.items():
+        cells = builder()
+        echo(f"[ratchet] {name}: {len(cells)} cells, {passes} pass(es)...")
+        stats = measure_benchmark(cells, passes=passes)
+        entry["benchmarks"][name] = stats
+        echo(
+            f"[ratchet] {name}: {stats['cells_per_sec']:.2f} cells/s, "
+            f"{stats['events_per_sec']:.0f} events/s "
+            f"({stats['events']} events in {stats['seconds']:.2f}s)"
+        )
+    return entry
+
+
+def load_trajectory(path: Path) -> Dict[str, object]:
+    if path.exists():
+        with open(path) as handle:
+            return json.load(handle)
+    return {"schema": 1, "entries": []}
+
+
+def record(path: Path, label: str, passes: int, echo=print) -> None:
+    trajectory = load_trajectory(path)
+    entry = measure_all(passes=passes, echo=echo)
+    entry = {"label": label, **entry}
+    trajectory["entries"].append(entry)
+    with open(path, "w") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    echo(f"[ratchet] recorded entry '{label}' -> {path}")
+
+
+def check(path: Path, margin: float, passes: int, echo=print) -> int:
+    trajectory = load_trajectory(path)
+    if not trajectory["entries"]:
+        echo(f"[ratchet] no committed entries in {path}; nothing to check against")
+        return 1
+    reference = trajectory["entries"][-1]
+    current = measure_all(passes=passes, echo=echo)
+    ref_cal = reference["calibration_kops"]
+    cur_cal = current["calibration_kops"]
+    echo(
+        f"[ratchet] calibration: committed {ref_cal:.0f} kops/s "
+        f"vs current {cur_cal:.0f} kops/s"
+    )
+    comparison = {
+        "reference_label": reference.get("label"),
+        "margin": margin,
+        "calibration": {"reference_kops": ref_cal, "current_kops": cur_cal},
+        "benchmarks": {},
+        "ok": True,
+    }
+    failed = []
+    for name, ref_stats in reference["benchmarks"].items():
+        cur_stats = current["benchmarks"].get(name)
+        if cur_stats is None:
+            continue
+        # Normalize both sides by their machine's calibration score so a
+        # slower CI runner is not mistaken for a code regression.
+        ratio = (cur_stats["cells_per_sec"] / ref_stats["cells_per_sec"]) * (
+            ref_cal / cur_cal
+        )
+        ok = ratio >= 1.0 - margin
+        comparison["benchmarks"][name] = {
+            "reference": ref_stats,
+            "current": cur_stats,
+            "normalized_throughput_ratio": round(ratio, 3),
+            "ok": ok,
+        }
+        verdict = "ok" if ok else f"REGRESSION (> {margin:.0%} below committed)"
+        echo(
+            f"[ratchet] {name}: normalized throughput x{ratio:.2f} "
+            f"vs '{reference.get('label')}' -> {verdict}"
+        )
+        if not ok:
+            failed.append(name)
+    comparison["ok"] = not failed
+    COMPARISON_FILE.parent.mkdir(parents=True, exist_ok=True)
+    with open(COMPARISON_FILE, "w") as handle:
+        json.dump(comparison, handle, indent=2)
+        handle.write("\n")
+    echo(f"[ratchet] comparison written to {COMPARISON_FILE}")
+    if failed:
+        echo(f"[ratchet] FAILED: throughput regressed on {', '.join(failed)}")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--record", action="store_true", help="append a new entry to the trajectory"
+    )
+    mode.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the last committed entry; exit 1 on regression",
+    )
+    parser.add_argument("--label", default=None, help="label of the recorded entry")
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=0.15,
+        help="tolerated fractional throughput drop before --check fails",
+    )
+    parser.add_argument(
+        "--passes", type=int, default=2, help="measurement passes (best one counts)"
+    )
+    parser.add_argument(
+        "--file", type=Path, default=BENCH_FILE, help="trajectory file location"
+    )
+    args = parser.parse_args(argv)
+    if args.record:
+        if not args.label:
+            parser.error("--record requires --label")
+        record(args.file, args.label, args.passes)
+        return 0
+    return check(args.file, args.margin, args.passes)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
