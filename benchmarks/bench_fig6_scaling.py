@@ -113,7 +113,12 @@ def test_fig6_scaling_with_number_of_processes(benchmark):
     for name, rows in series.items():
         emit(
             f"{name:>14} | "
-            + " | ".join(f"k={p['k']}: {p['bytes_variation_percent']:+6.1f}%" for p in rows)
+            + " | ".join(
+                f"k={p['k']}: {p['bytes_variation_percent']:+6.1f}%"
+                if p["bytes_variation_percent"] is not None
+                else f"k={p['k']}: n/a"
+                for p in rows
+            )
         )
     emit_header("Fig. 6b — latency variation (%) vs k")
     for name, rows in series.items():
@@ -132,4 +137,7 @@ def test_fig6_scaling_with_number_of_processes(benchmark):
     # largest N (the paper reports around -40% to -55%).
     largest_n = max(SCALE.fig6_ns)
     bdw_points = series[f"Bdw., N={largest_n}"]
-    assert all(p["bytes_variation_percent"] < 0 for p in bdw_points)
+    assert all(
+        p["bytes_variation_percent"] is not None and p["bytes_variation_percent"] < 0
+        for p in bdw_points
+    )

@@ -37,15 +37,29 @@ from repro.core.modifications import ModificationSet
 from repro.core.protocol import BroadcastProtocol
 from repro.brb.optimized.state import (
     BroadcastSlot,
-    OutgoingBatch,
+    ContentRecord,
     PayloadRecord,
     PlannedMessage,
 )
+from repro.paths.disjoint import DisjointPathVerifier
 
 BroadcastKey = Tuple[int, int]
 
 #: Upper bound on messages queued per (neighbor, unknown local id) (MBD.1).
 _MAX_PENDING_PER_LOCAL_ID = 64
+
+#: Shared empty command list returned when a message produced nothing —
+#: the common case.  Callers must treat returned command lists as
+#: read-only unless they made them (see :meth:`on_message`).
+_NO_COMMANDS: List["Command"] = []
+
+#: Local aliases: enum attribute access goes through a descriptor on every
+#: lookup, which the per-message paths below cannot afford.
+_SEND = MessageType.SEND
+_ECHO = MessageType.ECHO
+_READY = MessageType.READY
+_ECHO_ECHO = MessageType.ECHO_ECHO
+_READY_ECHO = MessageType.READY_ECHO
 
 
 class CrossLayerBrachaDolev(BroadcastProtocol):
@@ -59,6 +73,26 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         The MD.1–5 / MBD.1–12 toggles.  Defaults to the paper's
         *lat. & bdw.* configuration (MD.1–5 + MBD.1/7/8/9).
     """
+
+    __slots__ = (
+        "mods",
+        "_slots",
+        "_neighbor_local_ids",
+        "_pending_local",
+        "_local_id_counter",
+        "_groups",
+        "_deliveries",
+        "_can_merge",
+        "_process_set",
+        "_n",
+        "_delivery_quorum",
+        "_dpr",
+        "_mbd6",
+        "_mbd7",
+        "_md4",
+        "_md5",
+        "_md2",
+    )
 
     def __init__(
         self,
@@ -77,11 +111,36 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         )
         self._slots: Dict[BroadcastKey, BroadcastSlot] = {}
         # MBD.1: mapping, per neighbor, from the neighbor's local payload id
-        # to the payload it refers to, plus a queue of messages received
-        # before the mapping was learnt.
-        self._neighbor_local_ids: Dict[int, Dict[int, Tuple[int, int, bytes]]] = {}
+        # to the ``(record, slot)`` pair it refers to, plus a queue of
+        # messages received before the mapping was learnt.  The slot is
+        # carried alongside the record instead of as a backref on the
+        # record itself, keeping the protocol state acyclic so a finished
+        # run is reclaimed by reference counting, not cyclic GC.
+        self._neighbor_local_ids: Dict[int, Dict[int, tuple]] = {}
         self._pending_local: Dict[Tuple[int, int], List[CrossLayerMessage]] = {}
         self._local_id_counter = 0
+        # Scratch group and delivery lists reused across _process calls
+        # (cleared on entry).  _process never re-enters itself and both
+        # lists are fully consumed (or copied) before the call returns,
+        # so reuse is safe and saves two allocations per received message.
+        self._groups: List[tuple] = []
+        self._deliveries: List[Command] = []
+        # MBD.3/4 merging changes wire construction wholesale; precompute
+        # which _finalize path applies.
+        self._can_merge = self.mods.mbd3_echo_echo or self.mods.mbd4_ready_echo
+        # Hot-path aliases of config-derived values (immutable per run).
+        self._process_set = config._process_set
+        self._n = config.n
+        self._delivery_quorum = config.delivery_quorum
+        self._dpr = config.disjoint_paths_required
+        # Suppression-rule flags read on every received message
+        # (ModificationSet is frozen, so snapshotting them is safe).
+        mods = self.mods
+        self._mbd6 = mods.mbd6_ignore_echo_after_ready
+        self._mbd7 = mods.mbd7_ignore_echo_after_delivery
+        self._md4 = mods.md4_ignore_paths_with_delivered
+        self._md5 = mods.md5_stop_after_delivery
+        self._md2 = mods.md2_empty_path_after_delivery
 
     # ------------------------------------------------------------------
     # Constructors matching the paper's named configurations
@@ -111,7 +170,7 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
     def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
         slot = self._slot(self.process_id, bid)
         record = slot.payload_record(payload)
-        batch = OutgoingBatch()
+        groups: List[tuple] = []
         deliveries: List[Command] = []
 
         # The source's own SEND content is trivially Dolev-delivered.
@@ -123,125 +182,203 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
             send_record.relayed_empty = True
             targets = self._origination_targets(slot, record, MessageType.SEND)
             path: Optional[Tuple[int, ...]] = None if self.mods.mbd2_single_hop_send else ()
-            batch.add(targets, MessageType.SEND, self.process_id, record, path)
+            groups.append((targets, MessageType.SEND, self.process_id, record, path, None))
             # The source reacts to its own SEND (Algorithm 1 sends to Π,
             # which includes the sender itself).
-            self._bracha_on_send(slot, record, batch, deliveries)
-        return self._finalize(batch) + deliveries
+            self._bracha_on_send(slot, record, groups, deliveries)
+        return self._finalize(groups) + deliveries
 
     def on_message(self, sender: int, message: CrossLayerMessage) -> List[Command]:
-        if not isinstance(message, CrossLayerMessage):
+        if type(message) is not CrossLayerMessage and not isinstance(
+            message, CrossLayerMessage
+        ):
             return []
-        commands: List[Command] = []
-        for resolved_sender, resolved in self._resolve(sender, message):
-            record = resolved[0]
-            wire = resolved[1]
-            commands.extend(self._process(resolved_sender, wire, record))
-        return commands
-
-    # ------------------------------------------------------------------
-    # MBD.1: payload resolution and queueing
-    # ------------------------------------------------------------------
-    def _resolve(
-        self, sender: int, message: CrossLayerMessage
-    ) -> List[Tuple[int, Tuple[PayloadRecord, CrossLayerMessage]]]:
-        """Resolve the payload a message refers to.
-
-        Returns a list of ``(sender, (payload record, message))`` pairs:
-        the current message when resolvable, plus any queued messages that
-        the current one unblocks by revealing the sender's local id
-        mapping.  An unresolvable message is queued and yields nothing.
-        """
-        results: List[Tuple[int, Tuple[PayloadRecord, CrossLayerMessage]]] = []
-        if message.payload is not None:
-            source = message.source if message.source is not None else sender
-            bid = message.bid if message.bid is not None else 0
-            if not self.config.is_process(source):
-                return []
-            slot = self._slot(source, bid)
-            record = slot.payload_record(message.payload)
-            if message.local_payload_id is not None:
-                mapping = self._neighbor_local_ids.setdefault(sender, {})
-                mapping.setdefault(message.local_payload_id, record.key)
-                results.append((sender, (record, message)))
-                # Unblock messages queued on this (sender, local id).
-                pending = self._pending_local.pop((sender, message.local_payload_id), [])
-                results.extend((sender, (record, queued)) for queued in pending)
-            else:
-                results.append((sender, (record, message)))
-            return results
-
-        if message.local_payload_id is not None:
-            mapping = self._neighbor_local_ids.get(sender, {})
-            key = mapping.get(message.local_payload_id)
-            if key is None:
-                queue = self._pending_local.setdefault(
-                    (sender, message.local_payload_id), []
-                )
+        # Fast path — the bulk of a run's traffic after MBD.1 announcement:
+        # a payload-free message whose local id is already mapped.  Direct
+        # indexing with one KeyError handler beats the chained ``.get``
+        # calls because the lookups almost always hit; an unknown sender,
+        # an unmapped id and a ``None`` id all miss into the handler.
+        if message.payload is None:
+            local_id = message.local_payload_id
+            try:
+                record, slot = self._neighbor_local_ids[sender][local_id]
+            except KeyError:
+                if local_id is None:
+                    # Neither payload nor local id: cannot be interpreted.
+                    return []
+                queue = self._pending_local.setdefault((sender, local_id), [])
                 if len(queue) < _MAX_PENDING_PER_LOCAL_ID:
                     queue.append(message)
                 return []
-            source, bid, payload = key
-            record = self._slot(source, bid).payload_record(payload)
-            return [(sender, (record, message))]
+            return self._process(sender, message, record, slot)
 
-        # Neither payload nor local id: the message cannot be interpreted.
-        return []
+        source = message.source if message.source is not None else sender
+        bid = message.bid if message.bid is not None else 0
+        if not self.config.is_process(source):
+            return []
+        slot = self._slot(source, bid)
+        record = slot.payload_record(message.payload)
+        if message.local_payload_id is None:
+            return self._process(sender, message, record, slot)
+        # MBD.1: learn the sender's local id mapping and unblock whatever
+        # was queued on it.
+        mapping = self._neighbor_local_ids.setdefault(sender, {})
+        mapping.setdefault(message.local_payload_id, (record, slot))
+        commands = self._process(sender, message, record, slot)
+        pending = self._pending_local.pop((sender, message.local_payload_id), None)
+        if pending:
+            if commands is _NO_COMMANDS:
+                # _process returns a shared empty list; never mutate it.
+                commands = []
+            for queued in pending:
+                commands.extend(self._process(sender, queued, record, slot))
+        return commands
 
     # ------------------------------------------------------------------
     # Message processing
     # ------------------------------------------------------------------
     def _process(
-        self, sender: int, message: CrossLayerMessage, record: PayloadRecord
+        self,
+        sender: int,
+        message: CrossLayerMessage,
+        record: PayloadRecord,
+        slot: BroadcastSlot,
     ) -> List[Command]:
-        slot = self._slot(record.source, record.bid)
-        batch = OutgoingBatch()
-        deliveries: List[Command] = []
-
-        for kind, creator, wire_path in self._decompose(sender, message, record):
-            if not self.config.is_process(creator):
-                continue
-            if len(wire_path) > self.config.n or any(
-                not self.config.is_process(p) for p in wire_path
+        mtype = message.mtype
+        if mtype is _SEND or mtype is _ECHO or mtype is _READY:
+            # Single-content messages skip the decomposition list — the
+            # merged ECHO_ECHO / READY_ECHO kinds are the rare case.
+            if mtype is _SEND:
+                creator = record.source
+            else:
+                creator = message.creator
+                if creator is None:
+                    creator = sender
+            wire_path = message.path or ()
+            process_set = self._process_set
+            if creator not in process_set or (
+                wire_path
+                and (
+                    len(wire_path) > self._n
+                    or not process_set.issuperset(wire_path)
+                )
             ):
-                # Forged path referencing unknown processes or absurd length.
-                continue
+                # Forged creator or path referencing unknown processes.
+                return _NO_COMMANDS
             # MBD.9 bookkeeping: READYs received with an empty path.
-            if kind == MessageType.READY and not wire_path:
-                seen = record.neighbor_empty_readys.setdefault(sender, set())
+            if mtype is _READY and not wire_path:
+                seen = record.neighbor_empty_readys.get(sender)
+                if seen is None:
+                    seen = record.neighbor_empty_readys[sender] = set()
                 seen.add(creator)
-                if len(seen) >= self.config.delivery_quorum:
+                if len(seen) >= self._delivery_quorum:
                     slot.neighbors_bd_delivered.add(sender)
-            self._handle_content(
-                sender, slot, record, kind, creator, wire_path, batch, deliveries
+            # Inlined prefix of _handle_content: resolve the content
+            # record and apply the cheap suppression rules without a
+            # call — the vast majority of received messages stop here
+            # (MD.5: the content is delivered and announced).
+            ckey = (mtype, creator)
+            content = record.contents.get(ckey)
+            if content is None:
+                content = ContentRecord(verifier=DisjointPathVerifier(self._dpr))
+                record.contents[ckey] = content
+            if not wire_path:
+                content.neighbors_delivered.add(sender)
+            if mtype is _ECHO and (
+                (self._mbd6 and creator in record.delivered_ready_creators)
+                or (self._mbd7 and slot.delivered)
+            ):
+                return _NO_COMMANDS
+            if (
+                wire_path
+                and self._md4
+                and not content.neighbors_delivered.isdisjoint(wire_path)
+            ):
+                return _NO_COMMANDS
+            if (
+                content.delivered
+                and self._md5
+                and (content.relayed_empty or not self._md2)
+            ):
+                return _NO_COMMANDS
+            groups = self._groups
+            groups.clear()
+            deliveries = self._deliveries
+            deliveries.clear()
+            self._deliver_content(
+                sender,
+                slot,
+                record,
+                mtype,
+                creator,
+                wire_path,
+                content,
+                groups,
+                deliveries,
             )
-        return self._finalize(batch) + deliveries
+        else:
+            process_set = self._process_set
+            groups = self._groups
+            groups.clear()
+            deliveries = self._deliveries
+            deliveries.clear()
+            for kind, creator, wire_path in self._decompose(sender, message, record):
+                if creator not in process_set:
+                    continue
+                if wire_path and (
+                    len(wire_path) > self._n
+                    or not process_set.issuperset(wire_path)
+                ):
+                    # Forged path referencing unknown processes or absurd
+                    # length.
+                    continue
+                # MBD.9 bookkeeping: READYs received with an empty path.
+                if kind is _READY and not wire_path:
+                    seen = record.neighbor_empty_readys.get(sender)
+                    if seen is None:
+                        seen = record.neighbor_empty_readys[sender] = set()
+                    seen.add(creator)
+                    if len(seen) >= self._delivery_quorum:
+                        slot.neighbors_bd_delivered.add(sender)
+                self._handle_content(
+                    sender, slot, record, kind, creator, wire_path, groups, deliveries
+                )
+        if groups:
+            commands = self._finalize(groups)
+            commands.extend(deliveries)
+            return commands
+        if deliveries:
+            return list(deliveries)
+        return _NO_COMMANDS
 
     def _decompose(
         self, sender: int, message: CrossLayerMessage, record: PayloadRecord
     ) -> List[Tuple[MessageType, int, Tuple[int, ...]]]:
         """Split a wire message into its constituent content receptions."""
-        path = message.effective_path
-        creator = message.creator if message.creator is not None else sender
-        if message.mtype == MessageType.SEND:
+        path = message.path
+        if path is None:
+            path = ()
+        mtype = message.mtype
+        if mtype is _SEND:
             # A SEND is always created by the source of the broadcast.
-            return [(MessageType.SEND, record.source, path)]
-        if message.mtype == MessageType.ECHO:
-            return [(MessageType.ECHO, creator, path)]
-        if message.mtype == MessageType.READY:
-            return [(MessageType.READY, creator, path)]
+            return [(_SEND, record.source, path)]
+        creator = message.creator if message.creator is not None else sender
+        if mtype is _ECHO:
+            return [(_ECHO, creator, path)]
+        if mtype is _READY:
+            return [(_READY, creator, path)]
         embedded = message.embedded_creator
         if embedded is None:
             return []
-        if message.mtype == MessageType.ECHO_ECHO:
+        if mtype is _ECHO_ECHO:
             return [
-                (MessageType.ECHO, creator, path),
-                (MessageType.ECHO, embedded, path + (creator,)),
+                (_ECHO, creator, path),
+                (_ECHO, embedded, path + (creator,)),
             ]
-        if message.mtype == MessageType.READY_ECHO:
+        if mtype is _READY_ECHO:
             return [
-                (MessageType.READY, creator, path),
-                (MessageType.ECHO, embedded, path + (creator,)),
+                (_READY, creator, path),
+                (_ECHO, embedded, path + (creator,)),
             ]
         return []
 
@@ -253,50 +390,80 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         kind: MessageType,
         creator: int,
         wire_path: Tuple[int, ...],
-        batch: OutgoingBatch,
+        groups: List[tuple],
         deliveries: List[Command],
     ) -> None:
-        content = record.content(kind, creator, self.config.disjoint_paths_required)
+        """Full content reception: suppression prefix plus delivery tail.
+
+        The single-content fast path of :meth:`_process` inlines the
+        prefix below and calls :meth:`_deliver_content` directly; this
+        method serves the decomposed (merged-kind) receptions.
+        """
+        mods = self.mods
+        ckey = (kind, creator)
+        content = record.contents.get(ckey)
+        if content is None:
+            content = ContentRecord(
+                verifier=DisjointPathVerifier(self.config.disjoint_paths_required)
+            )
+            record.contents[ckey] = content
 
         if not wire_path:
             # The sender created the content or relayed it after delivering
             # (MD.2); either way it has the content.
             content.neighbors_delivered.add(sender)
 
-        # MBD.6: ignore ECHOs of a process whose READY has been delivered.
-        if (
-            kind == MessageType.ECHO
-            and self.mods.mbd6_ignore_echo_after_ready
-            and self._ready_delivered(record, creator)
-        ):
-            return
-        # MBD.7: ignore ECHOs once the broadcast has been BRB-delivered.
-        if (
-            kind == MessageType.ECHO
-            and self.mods.mbd7_ignore_echo_after_delivery
-            and slot.delivered
-        ):
-            return
+        if kind is _ECHO:
+            # MBD.6: ignore ECHOs of a process whose READY has been delivered.
+            if mods.mbd6_ignore_echo_after_ready and self._ready_delivered(
+                record, creator
+            ):
+                return
+            # MBD.7: ignore ECHOs once the broadcast has been BRB-delivered.
+            if mods.mbd7_ignore_echo_after_delivery and slot.delivered:
+                return
         # MD.4: ignore paths that contain a neighbor that already delivered.
         if (
-            self.mods.md4_ignore_paths_with_delivered
-            and wire_path
-            and set(wire_path) & content.neighbors_delivered
+            wire_path
+            and mods.md4_ignore_paths_with_delivered
+            and not content.neighbors_delivered.isdisjoint(wire_path)
         ):
             return
         # MD.5: stop relaying a content once delivered and announced (or
         # right after delivery when MD.2's empty-path relay is disabled).
         if (
             content.delivered
-            and self.mods.md5_stop_after_delivery
-            and (content.relayed_empty or not self.mods.md2_empty_path_after_delivery)
+            and mods.md5_stop_after_delivery
+            and (content.relayed_empty or not mods.md2_empty_path_after_delivery)
         ):
             return
 
-        direct = not wire_path and sender == creator
-        if direct:
-            intermediaries: Tuple[int, ...] = ()
+        self._deliver_content(
+            sender, slot, record, kind, creator, wire_path, content, groups, deliveries
+        )
+
+    def _deliver_content(
+        self,
+        sender: int,
+        slot: BroadcastSlot,
+        record: PayloadRecord,
+        kind: MessageType,
+        creator: int,
+        wire_path: Tuple[int, ...],
+        content: ContentRecord,
+        groups: List[tuple],
+        deliveries: List[Command],
+    ) -> None:
+        """Path accounting, Dolev relay and Bracha transitions of a content."""
+        mods = self.mods
+        if not wire_path:
+            # Empty wire path: the only candidate intermediary is the
+            # sender itself (a process never sends to itself, so the
+            # ``process_id`` discard cannot apply).
+            direct = sender == creator
+            intermediaries: Tuple[int, ...] = () if direct else (sender,)
         else:
+            direct = False
             members = set(wire_path)
             members.add(sender)
             members.discard(creator)
@@ -306,20 +473,19 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         result = content.verifier.add_path(intermediaries)
         newly_delivered = False
         if not content.delivered:
-            if (direct and self.mods.md1_deliver_from_source) or result.newly_satisfied:
+            if (direct and mods.md1_deliver_from_source) or result.newly_satisfied:
                 newly_delivered = True
                 content.delivered = True
-                if self.mods.md2_empty_path_after_delivery:
+                if kind is _READY:
+                    record.delivered_ready_creators.add(creator)
+                if mods.md2_empty_path_after_delivery:
                     content.verifier.discard_paths()
 
         # MBD.2: any ECHO/READY also certifies a path for the SEND content,
         # because in BDopt the relayed (empty-path) SEND would have travelled
         # along the same route as the creator's ECHO.
         send_newly_delivered = False
-        if (
-            self.mods.mbd2_single_hop_send
-            and kind in (MessageType.ECHO, MessageType.READY)
-        ):
+        if mods.mbd2_single_hop_send and kind is not _SEND:
             send_newly_delivered = self._extract_send_path(
                 record, creator, intermediaries, direct
             )
@@ -336,19 +502,19 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
             result.stored,
             newly_delivered,
             direct,
-            batch,
+            groups,
         )
 
         # Bracha phase transitions.
         if send_newly_delivered:
-            self._bracha_on_send(slot, record, batch, deliveries)
+            self._bracha_on_send(slot, record, groups, deliveries)
         if newly_delivered:
-            if kind == MessageType.SEND:
-                self._bracha_on_send(slot, record, batch, deliveries)
-            elif kind == MessageType.ECHO:
-                self._bracha_on_echo(slot, record, creator, batch, deliveries)
-            elif kind == MessageType.READY:
-                self._bracha_on_ready(slot, record, creator, batch, deliveries)
+            if kind is _SEND:
+                self._bracha_on_send(slot, record, groups, deliveries)
+            elif kind is _ECHO:
+                self._bracha_on_echo(slot, record, creator, groups, deliveries)
+            elif kind is _READY:
+                self._bracha_on_ready(slot, record, creator, groups, deliveries)
 
     def _extract_send_path(
         self,
@@ -394,17 +560,18 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         path_stored: bool,
         newly_delivered: bool,
         direct: bool,
-        batch: OutgoingBatch,
+        groups: List[tuple],
     ) -> None:
         # MBD.2: SEND messages are single-hop and are never relayed.
-        if kind == MessageType.SEND and self.mods.mbd2_single_hop_send:
+        if kind is _SEND and self.mods.mbd2_single_hop_send:
             return
 
         if newly_delivered and self.mods.md2_empty_path_after_delivery:
-            # MD.2: announce the delivery once, with an empty path.
+            # MD.2: announce the delivery once, with an empty path.  The
+            # original sender is *not* excluded from the announcement.
             relay_path: Tuple[int, ...] = ()
             content.relayed_empty = True
-            exclude: Set[int] = set()
+            targets = self._relay_targets(slot, record, kind, creator, content, (), None)
         else:
             # MBD.10: a dominated path adds no information — do not relay it.
             if (
@@ -415,11 +582,11 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
             ):
                 return
             relay_path = wire_path + (sender,)
-            exclude = set(wire_path) | {sender}
-
-        targets = self._relay_targets(slot, record, kind, creator, content, exclude)
+            targets = self._relay_targets(
+                slot, record, kind, creator, content, wire_path, sender
+            )
         if targets:
-            batch.add(targets, kind, creator, record, relay_path)
+            groups.append((targets, kind, creator, record, relay_path, None))
 
     def _relay_targets(
         self,
@@ -428,18 +595,32 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         kind: MessageType,
         creator: int,
         content,
-        exclude: Set[int],
+        wire_path: Tuple[int, ...],
+        sender: Optional[int],
     ) -> List[int]:
-        excluded = set(exclude)
-        excluded.add(creator)
-        excluded.add(self.process_id)
-        if self.mods.md3_skip_delivered_neighbors:
-            excluded |= content.neighbors_delivered
-        if self.mods.mbd9_skip_delivered_neighbors:
-            excluded |= slot.neighbors_bd_delivered
-        if kind == MessageType.ECHO and self.mods.mbd8_skip_echo_to_ready_neighbors:
-            excluded |= record.ready_delivered_neighbors(self.neighbors)
-        return [q for q in self.neighbors if q not in excluded]
+        # Allocation-free target selection: instead of building the union
+        # of the exclusion sets per relay, each candidate neighbor is
+        # checked against the (C-level) memberships directly.
+        mods = self.mods
+        pid = self.process_id
+        nd = content.neighbors_delivered if mods.md3_skip_delivered_neighbors else ()
+        bd = slot.neighbors_bd_delivered if mods.mbd9_skip_delivered_neighbors else ()
+        rd = (
+            record.delivered_ready_creators
+            if kind is _ECHO and mods.mbd8_skip_echo_to_ready_neighbors
+            else ()
+        )
+        return [
+            q
+            for q in self.neighbors
+            if q != creator
+            and q != pid
+            and q != sender
+            and q not in wire_path
+            and q not in nd
+            and q not in bd
+            and q not in rd
+        ]
 
     def _origination_targets(
         self, slot: BroadcastSlot, record: PayloadRecord, kind: MessageType
@@ -447,8 +628,8 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         excluded: Set[int] = set()
         if self.mods.mbd9_skip_delivered_neighbors:
             excluded |= slot.neighbors_bd_delivered
-        if kind == MessageType.ECHO and self.mods.mbd8_skip_echo_to_ready_neighbors:
-            excluded |= record.ready_delivered_neighbors(self.neighbors)
+        if kind is _ECHO and self.mods.mbd8_skip_echo_to_ready_neighbors:
+            excluded |= record.delivered_ready_creators
         targets = [q for q in self.neighbors if q not in excluded]
         if self.mods.mbd12_reduced_fanout:
             limit = self.config.delivery_quorum  # 2f + 1
@@ -471,26 +652,25 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
     # Bracha phase transitions
     # ------------------------------------------------------------------
     def _ready_delivered(self, record: PayloadRecord, creator: int) -> bool:
-        ready = record.existing_content(MessageType.READY, creator)
-        return ready is not None and ready.delivered
+        return creator in record.delivered_ready_creators
 
     def _bracha_on_send(
         self,
         slot: BroadcastSlot,
         record: PayloadRecord,
-        batch: OutgoingBatch,
+        groups: List[tuple],
         deliveries: List[Command],
     ) -> None:
         if slot.sent_echo:
             return
-        self._create_own_echo(slot, record, batch, deliveries)
+        self._create_own_echo(slot, record, groups, deliveries)
 
     def _bracha_on_echo(
         self,
         slot: BroadcastSlot,
         record: PayloadRecord,
         creator: int,
-        batch: OutgoingBatch,
+        groups: List[tuple],
         deliveries: List[Command],
     ) -> None:
         if creator in record.echo_creators:
@@ -507,28 +687,28 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         # When both an ECHO and a READY become possible, only the READY is
         # sent (Sec. 6.2).
         if wants_ready:
-            self._create_own_ready(slot, record, batch, deliveries)
+            self._create_own_ready(slot, record, groups, deliveries)
         elif wants_echo:
-            self._create_own_echo(slot, record, batch, deliveries)
+            self._create_own_echo(slot, record, groups, deliveries)
 
     def _bracha_on_ready(
         self,
         slot: BroadcastSlot,
         record: PayloadRecord,
         creator: int,
-        batch: OutgoingBatch,
+        groups: List[tuple],
         deliveries: List[Command],
     ) -> None:
         if creator not in record.ready_creators:
             record.ready_creators.add(creator)
             # A READY implies its creator's ECHO (Sec. 6.2).
-            self._bracha_on_echo(slot, record, creator, batch, deliveries)
+            self._bracha_on_echo(slot, record, creator, groups, deliveries)
         ready_count = len(record.ready_creators)
         if (
             not slot.sent_ready
             and ready_count >= self.config.ready_amplification_threshold
         ):
-            self._create_own_ready(slot, record, batch, deliveries)
+            self._create_own_ready(slot, record, groups, deliveries)
         if not slot.delivered and ready_count >= self.config.delivery_quorum:
             slot.delivered = True
             deliveries.append(
@@ -539,7 +719,7 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         self,
         slot: BroadcastSlot,
         record: PayloadRecord,
-        batch: OutgoingBatch,
+        groups: List[tuple],
         deliveries: List[Command],
     ) -> None:
         if slot.sent_echo:
@@ -556,14 +736,14 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         content.delivered = True
         content.relayed_empty = True
         targets = self._origination_targets(slot, record, MessageType.ECHO)
-        batch.add(targets, MessageType.ECHO, self.process_id, record, ())
-        self._bracha_on_echo(slot, record, self.process_id, batch, deliveries)
+        groups.append((targets, MessageType.ECHO, self.process_id, record, (), None))
+        self._bracha_on_echo(slot, record, self.process_id, groups, deliveries)
 
     def _create_own_ready(
         self,
         slot: BroadcastSlot,
         record: PayloadRecord,
-        batch: OutgoingBatch,
+        groups: List[tuple],
         deliveries: List[Command],
     ) -> None:
         if slot.sent_ready:
@@ -582,29 +762,117 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
         )
         content.delivered = True
         content.relayed_empty = True
+        record.delivered_ready_creators.add(self.process_id)
         targets = self._origination_targets(slot, record, MessageType.READY)
-        batch.add(targets, MessageType.READY, self.process_id, record, ())
-        self._bracha_on_ready(slot, record, self.process_id, batch, deliveries)
+        groups.append((targets, MessageType.READY, self.process_id, record, (), None))
+        self._bracha_on_ready(slot, record, self.process_id, groups, deliveries)
 
     # ------------------------------------------------------------------
     # Wire construction, MBD.3/4 merging and MBD.1/5 field selection
     # ------------------------------------------------------------------
-    def _finalize(self, batch: OutgoingBatch) -> List[Command]:
-        merged = self._merge_planned(batch.planned)
-        return [
-            SendTo(dest=planned.dest, message=self._make_wire(planned))
-            for planned in merged
-        ]
+    def _finalize(self, groups: List[tuple]) -> List[Command]:
+        if not groups:
+            return []
+        if self._can_merge:
+            planned = [
+                PlannedMessage(dest, kind, creator, record, path, embedded)
+                for dests, kind, creator, record, path, embedded in groups
+                for dest in dests
+            ]
+            if not planned:
+                return []
+            if len(planned) > 1:
+                planned = self._merge_planned(planned)
+            make_wire = self._make_wire
+            return [SendTo(p.dest, make_wire(p)) for p in planned]
+
+        # Merging disabled (every named configuration but *all enabled*):
+        # emit wire messages group-wise.  ``embedded_creator`` is always
+        # None here — merged kinds only exist under MBD.3/4 — so the
+        # field-selection logic of _make_wire collapses to two wire
+        # variants per group (payload announcement vs. local-id only),
+        # each built or fetched from the record's cache at most once.
+        commands: List[Command] = []
+        mods = self.mods
+        mbd1 = mods.mbd1_local_payload_ids
+        mbd5 = mods.mbd5_optional_fields
+        pid = self.process_id
+        for dests, kind, creator, record, path, _embedded in groups:
+            if not dests:
+                continue
+            if mbd1:
+                local_id = record.my_local_id
+                if local_id is None:
+                    local_id = self._local_id_counter
+                    record.my_local_id = local_id
+                    self._local_id_counter += 1
+            else:
+                local_id = None
+            if kind is _SEND or (mbd5 and creator == pid and path == ()):
+                # SENDs never carry a creator; a newly created message's
+                # creator is implied by the authenticated link (Sec. 6.3).
+                creator_field = None
+            else:
+                creator_field = creator
+            wire_cache = record.wire_cache
+            announced = record.announced_to
+            wire_payload = wire_bare = None
+            for dest in dests:
+                if mbd1 and dest in announced:
+                    wire = wire_bare
+                    if wire is None:
+                        key = (kind, creator_field, None, False, path)
+                        wire = wire_cache.get(key)
+                        if wire is None:
+                            wire = CrossLayerMessage(
+                                mtype=kind,
+                                source=None if mbd5 else record.source,
+                                bid=None if mbd5 else record.bid,
+                                creator=creator_field,
+                                embedded_creator=None,
+                                payload=None,
+                                local_payload_id=local_id,
+                                path=path,
+                            )
+                            wire_cache[key] = wire
+                        wire_bare = wire
+                else:
+                    if mbd1:
+                        announced.add(dest)
+                    wire = wire_payload
+                    if wire is None:
+                        key = (kind, creator_field, None, True, path)
+                        wire = wire_cache.get(key)
+                        if wire is None:
+                            source_field = record.source
+                            if kind is _SEND and mods.mbd2_single_hop_send and mbd5:
+                                source_field = None
+                            wire = CrossLayerMessage(
+                                mtype=kind,
+                                source=source_field,
+                                bid=record.bid,
+                                creator=creator_field,
+                                embedded_creator=None,
+                                payload=record.payload,
+                                local_payload_id=local_id,
+                                path=path,
+                            )
+                            wire_cache[key] = wire
+                        wire_payload = wire
+                commands.append(SendTo(dest, wire))
+        return commands
 
     def _merge_planned(self, planned: List[PlannedMessage]) -> List[PlannedMessage]:
-        if not (self.mods.mbd3_echo_echo or self.mods.mbd4_ready_echo):
+        if len(planned) == 1 or not (
+            self.mods.mbd3_echo_echo or self.mods.mbd4_ready_echo
+        ):
             return planned
         result: List[PlannedMessage] = []
         consumed = [False] * len(planned)
         for i, first in enumerate(planned):
             if consumed[i]:
                 continue
-            if first.embedded_creator is not None or first.kind == MessageType.SEND:
+            if first.embedded_creator is not None or first.kind is _SEND:
                 result.append(first)
                 continue
             partner_index = None
@@ -617,14 +885,14 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
                     or second.record is not first.record
                     or second.path != first.path
                     or second.path is None
-                    or second.kind == MessageType.SEND
+                    or second.kind is _SEND
                 ):
                     continue
                 kinds = {first.kind, second.kind}
-                if kinds == {MessageType.ECHO, MessageType.READY}:
+                if kinds == {_ECHO, _READY}:
                     if not self.mods.mbd4_ready_echo:
                         continue
-                elif kinds == {MessageType.ECHO}:
+                elif kinds == {_ECHO}:
                     if not self.mods.mbd3_echo_echo:
                         continue
                     if first.creator == second.creator:
@@ -638,9 +906,9 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
                 continue
             second = planned[partner_index]
             consumed[partner_index] = True
-            if MessageType.READY in (first.kind, second.kind):
+            if first.kind is _READY or second.kind is _READY:
                 outer, inner = (
-                    (first, second) if first.kind == MessageType.READY else (second, first)
+                    (first, second) if first.kind is _READY else (second, first)
                 )
             else:
                 # Prefer this process's own (newly created) ECHO as the outer
@@ -685,7 +953,7 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
             bid_field = None
 
         creator_field: Optional[int] = planned.creator
-        if planned.kind == MessageType.SEND:
+        if planned.kind is _SEND:
             creator_field = None
             if mods.mbd2_single_hop_send and mods.mbd5_optional_fields:
                 source_field = None
@@ -701,21 +969,39 @@ class CrossLayerBrachaDolev(BroadcastProtocol):
 
         if planned.embedded_creator is None:
             mtype = planned.kind
-        elif planned.kind == MessageType.READY:
-            mtype = MessageType.READY_ECHO
+        elif planned.kind is _READY:
+            mtype = _READY_ECHO
         else:
-            mtype = MessageType.ECHO_ECHO
+            mtype = _ECHO_ECHO
 
-        return CrossLayerMessage(
-            mtype=mtype,
-            source=source_field,
-            bid=bid_field,
-            creator=creator_field,
-            embedded_creator=planned.embedded_creator,
-            payload=payload_field,
-            local_payload_id=local_id,
-            path=planned.path,
+        # Intern the wire message per payload record: the MBD.1 side
+        # effects above (local-id allocation, payload announcement) stay
+        # outside the cache, but the resulting frozen message is shared
+        # between every destination it is byte-identical for.
+        # The key omits fields that are constant per record — the payload,
+        # local id (allocated once above), and the source/bid pair, which
+        # is a pure function of ``include_payload`` and the message type.
+        key = (
+            mtype,
+            creator_field,
+            planned.embedded_creator,
+            include_payload,
+            planned.path,
         )
+        cached = record.wire_cache.get(key)
+        if cached is None:
+            cached = CrossLayerMessage(
+                mtype=mtype,
+                source=source_field,
+                bid=bid_field,
+                creator=creator_field,
+                embedded_creator=planned.embedded_creator,
+                payload=payload_field,
+                local_payload_id=local_id,
+                path=planned.path,
+            )
+            record.wire_cache[key] = cached
+        return cached
 
     # ------------------------------------------------------------------
     # Introspection

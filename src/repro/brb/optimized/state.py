@@ -28,7 +28,7 @@ ContentKey = Tuple[MessageType, int]
 PayloadKey = Tuple[int, int, bytes]
 
 
-@dataclass
+@dataclass(slots=True)
 class ContentRecord:
     """Dissemination state of one (kind, creator) content of a payload."""
 
@@ -42,7 +42,7 @@ class ContentRecord:
         return self.verifier.state_size_estimate() + len(self.neighbors_delivered)
 
 
-@dataclass
+@dataclass(slots=True)
 class PayloadRecord:
     """Per-payload quorum and dissemination bookkeeping."""
 
@@ -61,6 +61,15 @@ class PayloadRecord:
     announced_to: Set[int] = field(default_factory=set)
     #: Per neighbor, the READY creators received with an empty path (MBD.9).
     neighbor_empty_readys: Dict[int, Set[int]] = field(default_factory=dict)
+    #: Creators whose READY *content* is Dolev-delivered, maintained
+    #: incrementally as contents transition to delivered.  MBD.8 consults
+    #: this on every ECHO relay instead of probing the contents dict per
+    #: neighbor.
+    delivered_ready_creators: Set[int] = field(default_factory=set)
+    #: Interned wire messages, keyed by every field that varies between
+    #: them (the payload bytes are fixed per record).  A fan-out of the
+    #: same content to many neighbors reuses one frozen message object.
+    wire_cache: Dict[Tuple, object] = field(default_factory=dict)
 
     @property
     def key(self) -> PayloadKey:
@@ -80,12 +89,8 @@ class PayloadRecord:
 
     def ready_delivered_neighbors(self, neighbors) -> Set[int]:
         """Neighbors whose own READY content has been Dolev-delivered (MBD.8)."""
-        delivered = set()
-        for neighbor in neighbors:
-            record = self.contents.get((MessageType.READY, neighbor))
-            if record is not None and record.delivered:
-                delivered.add(neighbor)
-        return delivered
+        delivered = self.delivered_ready_creators
+        return {neighbor for neighbor in neighbors if neighbor in delivered}
 
     def state_size_estimate(self) -> int:
         contents = sum(record.state_size_estimate() for record in self.contents.values())
@@ -94,7 +99,7 @@ class PayloadRecord:
         return contents + quorums + empties
 
 
-@dataclass
+@dataclass(slots=True)
 class BroadcastSlot:
     """Per ``(source, bid)`` Bracha flags shared by all payload values."""
 
@@ -112,6 +117,9 @@ class BroadcastSlot:
         """Get or create the record of one payload value."""
         record = self.payloads.get(payload)
         if record is None:
+            # No backref to the slot: the protocol carries the slot
+            # alongside the record wherever both are needed, keeping the
+            # record graph acyclic (reclaimable by reference counting).
             record = PayloadRecord(source=self.source, bid=self.bid, payload=payload)
             self.payloads[payload] = record
         return record
@@ -120,14 +128,17 @@ class BroadcastSlot:
         return sum(record.state_size_estimate() for record in self.payloads.values())
 
 
-@dataclass
+@dataclass(slots=True)
 class PlannedMessage:
     """An outgoing message decided while handling one stimulus.
 
-    Planned messages are accumulated in an :class:`OutgoingBatch`, merged
-    according to MBD.3 / MBD.4 and only then turned into wire
-    :class:`~repro.core.messages.CrossLayerMessage` objects (which is when
-    MBD.1 / MBD.5 decide which fields to include for each destination).
+    The protocol accumulates fan-out *groups* — plain ``(dests, kind,
+    creator, record, path, embedded_creator)`` tuples — while handling a
+    stimulus; when MBD.3 / MBD.4 merging is enabled the groups are
+    expanded into per-destination planned messages, merged, and only then
+    turned into wire :class:`~repro.core.messages.CrossLayerMessage`
+    objects (which is when MBD.1 / MBD.5 decide which fields to include
+    for each destination).
     """
 
     dest: int
@@ -139,37 +150,6 @@ class PlannedMessage:
     embedded_creator: Optional[int] = None
 
 
-class OutgoingBatch:
-    """Ordered collection of planned messages for one stimulus."""
-
-    def __init__(self) -> None:
-        self.planned: List[PlannedMessage] = []
-
-    def add(
-        self,
-        dests,
-        kind: MessageType,
-        creator: int,
-        record: PayloadRecord,
-        path: Optional[Tuple[int, ...]],
-        embedded_creator: Optional[int] = None,
-    ) -> None:
-        for dest in dests:
-            self.planned.append(
-                PlannedMessage(
-                    dest=dest,
-                    kind=kind,
-                    creator=creator,
-                    record=record,
-                    path=path,
-                    embedded_creator=embedded_creator,
-                )
-            )
-
-    def __len__(self) -> int:
-        return len(self.planned)
-
-
 __all__ = [
     "ContentKey",
     "PayloadKey",
@@ -177,5 +157,4 @@ __all__ = [
     "PayloadRecord",
     "BroadcastSlot",
     "PlannedMessage",
-    "OutgoingBatch",
 ]

@@ -15,19 +15,24 @@ from dataclasses import dataclass
 from typing import Any, Optional, Tuple, Union
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True, unsafe_hash=True)
 class SendTo:
     """Ask the runtime to send ``message`` to neighbor ``dest``.
 
     The link between the emitting process and ``dest`` is assumed to be an
     authenticated, reliable point-to-point channel (Sec. 3).
+
+    Not ``frozen``: a frozen dataclass routes every ``__init__`` store
+    through ``object.__setattr__``, which roughly doubles construction
+    cost, and this is the one command allocated per link transmission.
+    Treat instances as immutable regardless.
     """
 
     dest: int
     message: Any
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BRBDeliver:
     """Byzantine-reliable-broadcast delivery of a payload to the application.
 
@@ -41,7 +46,7 @@ class BRBDeliver:
     payload: bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RCDeliver:
     """Reliable-communication delivery (honest-dealer broadcast).
 
@@ -56,7 +61,7 @@ class RCDeliver:
 Command = Union[SendTo, BRBDeliver, RCDeliver]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Observation:
     """One protocol event observed by a hosting runtime.
 

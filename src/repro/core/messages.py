@@ -22,7 +22,7 @@ Table 3 (:class:`repro.core.sizes.FieldSizes`).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple, Union
 
 from repro.core.sizes import FieldSizes, PAPER_FIELD_SIZES
@@ -46,7 +46,7 @@ class MessageType(enum.IntEnum):
 Path = Tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BrachaMessage:
     """A SEND, ECHO or READY message of Bracha's protocol.
 
@@ -91,7 +91,7 @@ class BrachaMessage:
         return replace(self, creator=creator)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DolevMessage:
     """A content and the path of intermediary processes it traversed.
 
@@ -125,7 +125,7 @@ class DolevMessage:
         return DolevMessage(content=self.content, path=())
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CrossLayerMessage:
     """A message of the cross-layer Bracha-Dolev protocol (Sec. 5–6).
 
@@ -150,9 +150,21 @@ class CrossLayerMessage:
     payload: Optional[bytes] = None
     local_payload_id: Optional[int] = None
     path: Optional[Path] = None
+    #: Lazily memoized :meth:`wire_size` under the paper's field sizes —
+    #: wire messages are interned and re-sent many times, so the size is
+    #: computed once per object.  Excluded from equality, hashing, repr
+    #: and ``__init__`` (so :func:`dataclasses.replace` copies start with
+    #: a fresh memo); the wire encoding never reads it.
+    _size_memo: Optional[int] = field(
+        default=None, compare=False, repr=False, init=False
+    )
 
     def wire_size(self, sizes: FieldSizes = PAPER_FIELD_SIZES) -> int:
         """Number of bytes this message occupies on a link."""
+        if sizes is PAPER_FIELD_SIZES:
+            memo = self._size_memo
+            if memo is not None:
+                return memo
         total = sizes.mtype
         if self.source is not None:
             total += sizes.source
@@ -168,6 +180,10 @@ class CrossLayerMessage:
             total += sizes.local_payload_id
         if self.path is not None:
             total += sizes.path_cost(len(self.path))
+        if sizes is PAPER_FIELD_SIZES:
+            # Frozen dataclass: route the one-time memo store around the
+            # immutability guard.
+            object.__setattr__(self, "_size_memo", total)
         return total
 
     # ------------------------------------------------------------------

@@ -34,6 +34,11 @@ class BroadcastProtocol(abc.ABC):
         fully connected network this is every other process.
     """
 
+    # Slotted: protocol attribute reads sit on the per-message hot path
+    # of the simulator.  Subclasses that declare no ``__slots__`` of
+    # their own still get an instance ``__dict__`` automatically.
+    __slots__ = ("process_id", "config", "neighbors", "delivered")
+
     def __init__(
         self,
         process_id: int,

@@ -8,7 +8,6 @@ experiment runner and the benchmarks consume.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Tuple
 
@@ -97,18 +96,44 @@ class RunMetrics:
 class MetricsCollector:
     """Mutable collector attached to a runtime during a run."""
 
+    __slots__ = (
+        "sizes",
+        "_type_counts",
+        "_process_counts",
+        "delivery_times",
+        "delivered_payloads",
+        "state_sizes",
+        "end_time",
+        "_memo_message",
+        "_memo_size",
+        "_memo_tcell",
+        "_memo_sender",
+        "_memo_pcell",
+    )
+
     def __init__(self, sizes: FieldSizes = PAPER_FIELD_SIZES) -> None:
         self.sizes = sizes
-        self.message_count = 0
-        self.total_bytes = 0
-        self.messages_by_type: Dict[str, int] = defaultdict(int)
-        self.bytes_by_type: Dict[str, int] = defaultdict(int)
-        self.messages_by_process: Dict[int, int] = defaultdict(int)
-        self.bytes_by_process: Dict[int, int] = defaultdict(int)
+        # Per-type and per-process [messages, bytes] cells: one dict
+        # lookup updates both counters of a breakdown, halving the hashed
+        # operations on the per-send path.  The public per-metric mappings
+        # (and the grand totals) are materialized on demand below.
+        self._type_counts: Dict[str, list] = {}
+        self._process_counts: Dict[int, list] = {}
         self.delivery_times: Dict[Tuple[int, BroadcastKey], float] = {}
         self.delivered_payloads: Dict[Tuple[int, BroadcastKey], bytes] = {}
         self.state_sizes: Dict[int, int] = {}
         self.end_time = 0.0
+        # One-slot memo over the last message object (and sender) seen by
+        # record_send.  Fan-out sends the same (interned) message instance
+        # to many neighbors back to back, so its wire size, type name and
+        # counter cells are resolved once per burst instead of once per
+        # link.  Keyed by identity of a held reference — never by a bare
+        # id() — so a recycled address cannot alias a dead object.
+        self._memo_message: object = None
+        self._memo_size = 0
+        self._memo_tcell: list = [0, 0]
+        self._memo_sender: object = None
+        self._memo_pcell: list = [0, 0]
 
     # ------------------------------------------------------------------
     # Recording
@@ -119,15 +144,32 @@ class MetricsCollector:
         Returns the wire size charged for the message so the runtime can
         use it for bandwidth-dependent delays if needed.
         """
-        size = message.wire_size(self.sizes) if hasattr(message, "wire_size") else 0
-        type_name = _message_type_name(message)
-        self.message_count += 1
-        self.total_bytes += size
-        self.messages_by_type[type_name] += 1
-        self.bytes_by_type[type_name] += size
-        self.messages_by_process[sender] += 1
-        self.bytes_by_process[sender] += size
-        self.end_time = max(self.end_time, time)
+        if message is self._memo_message:
+            size = self._memo_size
+            cell = self._memo_tcell
+        else:
+            size = message.wire_size(self.sizes) if hasattr(message, "wire_size") else 0
+            type_name = _message_type_name(message)
+            cell = self._type_counts.get(type_name)
+            if cell is None:
+                cell = self._type_counts[type_name] = [0, 0]
+            self._memo_message = message
+            self._memo_size = size
+            self._memo_tcell = cell
+        cell[0] += 1
+        cell[1] += size
+        if sender == self._memo_sender:
+            cell = self._memo_pcell
+        else:
+            cell = self._process_counts.get(sender)
+            if cell is None:
+                cell = self._process_counts[sender] = [0, 0]
+            self._memo_sender = sender
+            self._memo_pcell = cell
+        cell[0] += 1
+        cell[1] += size
+        if time > self.end_time:
+            self.end_time = time
         return size
 
     def record_delivery(
@@ -149,6 +191,39 @@ class MetricsCollector:
         self.state_sizes[pid] = size
 
     # ------------------------------------------------------------------
+    # Breakdown views
+    # ------------------------------------------------------------------
+    @property
+    def message_count(self) -> int:
+        """Total messages recorded (derived from the per-type cells)."""
+        return sum(cell[0] for cell in self._type_counts.values())
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes recorded (derived from the per-type cells)."""
+        return sum(cell[1] for cell in self._type_counts.values())
+
+    @property
+    def messages_by_type(self) -> Dict[str, int]:
+        """Message counts by type name (materialized view)."""
+        return {name: cell[0] for name, cell in self._type_counts.items()}
+
+    @property
+    def bytes_by_type(self) -> Dict[str, int]:
+        """Byte counts by type name (materialized view)."""
+        return {name: cell[1] for name, cell in self._type_counts.items()}
+
+    @property
+    def messages_by_process(self) -> Dict[int, int]:
+        """Message counts by sending process (materialized view)."""
+        return {pid: cell[0] for pid, cell in self._process_counts.items()}
+
+    @property
+    def bytes_by_process(self) -> Dict[int, int]:
+        """Byte counts by sending process (materialized view)."""
+        return {pid: cell[1] for pid, cell in self._process_counts.items()}
+
+    # ------------------------------------------------------------------
     # Snapshot
     # ------------------------------------------------------------------
     def snapshot(self) -> RunMetrics:
@@ -156,15 +231,21 @@ class MetricsCollector:
         return RunMetrics(
             message_count=self.message_count,
             total_bytes=self.total_bytes,
-            messages_by_type=dict(self.messages_by_type),
-            bytes_by_type=dict(self.bytes_by_type),
-            messages_by_process=dict(self.messages_by_process),
-            bytes_by_process=dict(self.bytes_by_process),
+            messages_by_type=self.messages_by_type,
+            bytes_by_type=self.bytes_by_type,
+            messages_by_process=self.messages_by_process,
+            bytes_by_process=self.bytes_by_process,
             delivery_times=dict(self.delivery_times),
             delivered_payloads=dict(self.delivered_payloads),
             end_time=self.end_time,
             state_sizes=dict(self.state_sizes),
         )
+
+
+#: ``MessageType`` member -> display name, precomputed: ``Enum.name`` is
+#: a ``DynamicClassAttribute`` descriptor call, too slow for a per-send path.
+_MTYPE_NAMES = {member: member.name for member in MessageType}
+_DOLEV_NAMES = {member: f"DOLEV[{member.name}]" for member in MessageType}
 
 
 def message_type_name(message) -> str:
@@ -177,13 +258,13 @@ def message_type_name(message) -> str:
     describe the same message identically.
     """
     mtype = getattr(message, "mtype", None)
-    if isinstance(mtype, MessageType):
-        return mtype.name
+    if type(mtype) is MessageType:
+        return _MTYPE_NAMES[mtype]
     content = getattr(message, "content", None)
     if content is not None:
         inner = getattr(content, "mtype", None)
-        if isinstance(inner, MessageType):
-            return f"DOLEV[{inner.name}]"
+        if type(inner) is MessageType:
+            return _DOLEV_NAMES[inner]
         return "DOLEV[RAW]"
     return type(message).__name__
 

@@ -10,17 +10,24 @@ aggregations on lists of per-run measurements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 
-def relative_variation_percent(value: float, reference: float) -> float:
+def relative_variation_percent(
+    value: Optional[float], reference: Optional[float]
+) -> Optional[float]:
     """Relative variation ``(value - reference) / reference`` in percent.
 
     A negative value means ``value`` improves on (is lower than) the
-    reference, matching the sign convention of Table 1.
+    reference, matching the sign convention of Table 1.  Either input may
+    be ``None`` — a missing measurement, e.g. a latency mean over a run
+    that delivered nothing — in which case the variation is ``None`` too
+    rather than a ``TypeError``.
     """
+    if value is None or reference is None:
+        return None
     if reference == 0:
         raise ValueError("reference value must be non-zero")
     return 100.0 * (value - reference) / reference
@@ -87,9 +94,10 @@ def summarize_variations(
         if not refs:
             continue
         pairs = zip(values, refs)
-        variations[key] = [
+        computed = (
             relative_variation_percent(value, ref) for value, ref in pairs if ref
-        ]
+        )
+        variations[key] = [v for v in computed if v is not None]
     return {key: variation_range(vals) for key, vals in variations.items() if vals}
 
 

@@ -31,7 +31,9 @@ via :meth:`SimulatedNetwork.replace_protocol`).
 
 from __future__ import annotations
 
+import gc
 import random
+from heapq import heappush
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.errors import ConfigurationError, RuntimeAbort
@@ -95,6 +97,8 @@ class SimulatedNetwork:
         if unknown:
             raise ConfigurationError(f"protocol instances for unknown processes {unknown}")
         self.topology = topology
+        # Plain adjacency mapping, aliased for the per-send channel check.
+        self._adjacency = topology.adjacency
         self.protocols = dict(protocols)
         self.delay_model = delay_model if delay_model is not None else FixedDelay()
         self.rng = random.Random(seed)
@@ -105,6 +109,27 @@ class SimulatedNetwork:
             raise ConfigurationError("shared_bandwidth_bps must be positive")
         self.shared_bandwidth_bps = shared_bandwidth_bps
         self._medium_free_at = 0.0
+        # Per-send bound methods and scheduler internals, bypassing the
+        # attribute chain (and, for the event queue, the call) in the
+        # hottest loop of a run.  The scheduler instance is created above
+        # and never replaced, so the aliases cannot go stale.
+        self._record_send = self.collector.record_send
+        # The plain (class-level) function, not a bound method: a bound
+        # method stored on the instance is a reference cycle network →
+        # method → network that keeps the whole finished network graph
+        # alive until a cyclic-GC pass.  Scheduled entries carry ``self``
+        # in the args tuple instead.
+        self._deliver_cb = SimulatedNetwork._deliver
+        self._sched_times = self.scheduler._times
+        self._sched_buckets = self.scheduler._buckets
+        # Fixed-delay fast path: the delay model is set once at
+        # construction, so the per-send type dispatch collapses to a
+        # None check.
+        self._fixed_delay_ms = (
+            self.delay_model.delay_ms
+            if type(self.delay_model) is FixedDelay
+            else None
+        )
         self._crashed: set = set()
         self._started = False
         #: Observer of protocol events (sends/deliveries); set by the
@@ -148,7 +173,7 @@ class SimulatedNetwork:
         if time_ms <= self.scheduler.now:
             self.crash(pid)
         else:
-            self.scheduler.schedule_at(time_ms, lambda: self.crash(pid))
+            self.scheduler.schedule_at(time_ms, self.crash, pid)
 
     def add_link_drop_window(
         self, u: int, v: int, start_ms: float, end_ms: Optional[float] = None
@@ -214,9 +239,7 @@ class SimulatedNetwork:
         for pid, protocol in self.protocols.items():
             if self.is_dormant(pid):
                 self._dormant_buffers.setdefault(pid, [])
-                self.scheduler.schedule_at(
-                    self._start_times[pid], lambda pid=pid: self._wake(pid)
-                )
+                self.scheduler.schedule_at(self._start_times[pid], self._wake, pid)
             elif hasattr(protocol, "on_start"):
                 self._execute_commands(pid, protocol.on_start())
 
@@ -230,7 +253,11 @@ class SimulatedNetwork:
         for sender, message in self._dormant_buffers.pop(pid, []):
             if pid in self._crashed:
                 break
-            self._execute_commands(pid, protocol.on_message(sender, message))
+            # Re-resolved per message: an adaptive trigger firing during
+            # the replay (e.g. on an observation one of these commands
+            # produced) swaps the instance, and the rest of the buffer
+            # must reach the replacement, not the pre-conversion one.
+            self._execute_commands(pid, self.protocols[pid].on_message(sender, message))
 
     def broadcast(self, pid: int, payload: bytes, bid: int = 0) -> None:
         """Have process ``pid`` initiate a broadcast at the current time.
@@ -240,18 +267,22 @@ class SimulatedNetwork:
         self.start()
         if pid in self._crashed:
             return
-        protocol = self.protocols[pid]
         if self.is_dormant(pid):
             # The wake-up event is already queued at the same timestamp with
             # a smaller sequence number, so on_start runs first.
             self.scheduler.schedule_at(
-                self._start_times[pid],
-                lambda: None
-                if pid in self._crashed
-                else self._execute_commands(pid, protocol.broadcast(payload, bid)),
+                self._start_times[pid], self._broadcast_after_wake, pid, payload, bid
             )
             return
-        self._execute_commands(pid, protocol.broadcast(payload, bid))
+        self._execute_commands(pid, self.protocols[pid].broadcast(payload, bid))
+
+    def _broadcast_after_wake(self, pid: int, payload: bytes, bid: int) -> None:
+        # The protocol instance is resolved at fire time, not at schedule
+        # time: an adaptive conversion between the broadcast call and the
+        # wake-up must see the replacement instance broadcast.
+        if pid in self._crashed:
+            return
+        self._execute_commands(pid, self.protocols[pid].broadcast(payload, bid))
 
     def broadcast_at(self, pid: int, payload: bytes, bid: int, time_ms: float) -> None:
         """Schedule a broadcast by ``pid`` at absolute simulated ``time_ms``.
@@ -269,9 +300,7 @@ class SimulatedNetwork:
         if time_ms <= self.scheduler.now:
             self.broadcast(pid, payload, bid)
         else:
-            self.scheduler.schedule_at(
-                time_ms, lambda: self.broadcast(pid, payload, bid)
-            )
+            self.scheduler.schedule_at(time_ms, self.broadcast, pid, payload, bid)
 
     def run(
         self,
@@ -286,7 +315,17 @@ class SimulatedNetwork:
         :class:`~repro.network.simulation.scheduler.EventScheduler`).
         """
         self.start()
-        self.scheduler.run(max_time=max_time, max_events=max_events)
+        # The event loop allocates heavily and the protocol state holds
+        # reference cycles (record ↔ slot), so cyclic-GC passes cost ~20%
+        # of a run while reclaiming nothing that matters mid-run.  Pause
+        # collection for the bounded duration of the loop.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            self.scheduler.run(max_time=max_time, max_events=max_events)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         self.collector.record_time(self.scheduler.now)
         self._collect_state_sizes()
         return self.collector.snapshot()
@@ -295,16 +334,155 @@ class SimulatedNetwork:
     # Command execution
     # ------------------------------------------------------------------
     def _execute_commands(self, pid: int, commands: Iterable[Command]) -> None:
-        if pid in self._crashed:
+        """Execute one protocol batch, with the send path inlined.
+
+        A protocol reacting to one stimulus emits a burst of sends that
+        share the sender, the timestamp and the network configuration, so
+        everything the per-send path needs is hoisted to locals once per
+        batch instead of re-read through ``self`` for every message.
+        ``_medium_free_at`` stays an attribute: it mutates across the
+        burst (shared-medium serialization).
+        """
+        crashed = self._crashed
+        if pid in crashed:
             return
+        neighbors = self._adjacency[pid]
+        record_send = self._record_send
+        # The memo fast path below reaches into the collector's internals,
+        # so it is only valid for the stock class — a subclass overriding
+        # record_send must see every send.
+        collector = self.collector
+        plain_collector = type(collector) is MetricsCollector
+        fixed = self._fixed_delay_ms
+        bandwidth = self.shared_bandwidth_bps
+        link_drops = self._link_drops
+        deliver_cb = self._deliver_cb
+        buckets = self._sched_buckets
+        times = self._sched_times
+        observer = self.observer
+        # The clock only advances inside EventScheduler.run, which cannot
+        # re-enter while a batch is executing: one read serves the burst.
+        now = self.scheduler.now
         for command in commands:
-            if pid in self._crashed:
+            if pid in crashed:
                 # An adaptive trigger crashed the process while this
                 # command batch was executing: the remaining commands
                 # are suppressed, exactly like the asyncio runtime.
                 return
-            if isinstance(command, SendTo):
-                self._execute_send(pid, command)
+            if type(command) is SendTo or isinstance(command, SendTo):
+                dest = command.dest
+                if dest not in neighbors:
+                    raise RuntimeAbort(
+                        f"process {pid} tried to send to {dest} without a channel"
+                    )
+                message = command.message
+                # Inlined MetricsCollector.record_send memo-hit path: a
+                # fan-out burst re-sends the same interned message object
+                # from the same sender, so both memo slots hit and the
+                # method call is skipped.  Any miss (new message, new
+                # sender, first send) falls back to the real method,
+                # which also refreshes the memos.
+                if (
+                    plain_collector
+                    and message is collector._memo_message
+                    and pid == collector._memo_sender
+                ):
+                    size = collector._memo_size
+                    cell = collector._memo_tcell
+                    cell[0] += 1
+                    cell[1] += size
+                    cell = collector._memo_pcell
+                    cell[0] += 1
+                    cell[1] += size
+                    if now > collector.end_time:
+                        collector.end_time = now
+                else:
+                    size = record_send(now, pid, dest, message)
+                if fixed is not None:
+                    # The dominant configuration (the paper's synchronous
+                    # 50 ms links) consumes no RNG and never drops, so the
+                    # virtual dispatch is skipped entirely.
+                    outcome = fixed
+                    dropped = False
+                else:
+                    outcome = self.delay_model.sample_event(
+                        self.rng, pid, dest, size, now
+                    )
+                    dropped = outcome is DROP
+                if link_drops and self._link_dropped(pid, dest, now):
+                    dropped = True
+                delay = 0.0 if outcome is DROP else outcome
+
+                if bandwidth is not None:
+                    # Serialize the message through the shared medium
+                    # before the propagation delay starts.  A message lost
+                    # to a link-drop window or the lossy delay model still
+                    # left the NIC, so it occupies the medium too.
+                    start = now if now > self._medium_free_at else self._medium_free_at
+                    transmission_ms = (size * 8.0 / bandwidth) * 1000.0
+                    self._medium_free_at = start + transmission_ms
+                    if dropped:
+                        self.dropped_messages += 1
+                    else:
+                        # Inlined EventScheduler.schedule_at (validation
+                        # included): the hottest scheduling site of a
+                        # bandwidth run.
+                        time = self._medium_free_at + delay
+                        if time != time:
+                            raise ValueError(
+                                "cannot schedule an event at a NaN time"
+                            )
+                        if time < now:
+                            raise ValueError(
+                                f"cannot schedule at {time}, current time is {now}"
+                            )
+                        entry = (deliver_cb, (self, dest, pid, message))
+                        bucket = buckets.get(time)
+                        if bucket is None:
+                            buckets[time] = entry
+                            heappush(times, time)
+                        elif type(bucket) is list:
+                            bucket.append(entry)
+                        else:
+                            buckets[time] = [bucket, entry]
+                elif dropped:
+                    self.dropped_messages += 1
+                else:
+                    # Inlined EventScheduler.schedule (validation included).
+                    if delay != delay:
+                        raise ValueError(
+                            "cannot schedule an event with a NaN delay"
+                        )
+                    if delay < 0:
+                        raise ValueError(
+                            f"cannot schedule an event in the past (delay={delay})"
+                        )
+                    time = now + delay
+                    entry = (deliver_cb, (self, dest, pid, message))
+                    bucket = buckets.get(time)
+                    if bucket is None:
+                        buckets[time] = entry
+                        heappush(times, time)
+                    elif type(bucket) is list:
+                        bucket.append(entry)
+                    else:
+                        buckets[time] = [bucket, entry]
+                # Observed last: the message is on the wire (or provably
+                # lost) before an adaptive adversary may react to it, so a
+                # triggered crash of the sender cannot retract this
+                # transmission.
+                if observer is not None:
+                    observer(
+                        Observation(
+                            kind="send",
+                            time_ms=now,
+                            pid=pid,
+                            dest=dest,
+                            mtype=message_type_name(message),
+                            source=getattr(message, "source", None),
+                            bid=getattr(message, "bid", None),
+                        )
+                    )
             elif isinstance(command, BRBDeliver):
                 self._execute_delivery(pid, command)
             elif isinstance(command, RCDeliver):
@@ -320,63 +498,22 @@ class SimulatedNetwork:
             start <= time and (end is None or time < end) for start, end in windows
         )
 
-    def _execute_send(self, sender: int, command: SendTo) -> None:
-        dest = command.dest
-        if not self.topology.has_edge(sender, dest):
-            raise RuntimeAbort(
-                f"process {sender} tried to send to {dest} without a channel"
-            )
-        size = self.collector.record_send(self.scheduler.now, sender, dest, command.message)
-        outcome = self.delay_model.sample_event(
-            self.rng, sender, dest, size, self.scheduler.now
-        )
-        message = command.message
-        dropped = outcome is DROP or self._link_dropped(
-            sender, dest, self.scheduler.now
-        )
-        delay = 0.0 if outcome is DROP else outcome
+    def _deliver(self, dest: int, sender: int, message: object) -> None:
+        """Deliver one in-flight message to its destination process.
 
-        def deliver() -> None:
-            if dest in self._crashed:
-                return
-            if self.is_dormant(dest):
-                self._dormant_buffers.setdefault(dest, []).append((sender, message))
-                return
-            protocol = self.protocols[dest]
-            self._execute_commands(dest, protocol.on_message(sender, message))
-
-        if self.shared_bandwidth_bps is not None:
-            # Serialize the message through the shared medium before the
-            # propagation delay starts.  A message lost to a link-drop
-            # window or the lossy delay model still left the NIC, so it
-            # occupies the medium too.
-            start = max(self.scheduler.now, self._medium_free_at)
-            transmission_ms = (size * 8.0 / self.shared_bandwidth_bps) * 1000.0
-            self._medium_free_at = start + transmission_ms
-            arrival = self._medium_free_at + delay
-            if dropped:
-                self.dropped_messages += 1
-            else:
-                self.scheduler.schedule_at(arrival, deliver)
-        else:
-            if dropped:
-                self.dropped_messages += 1
-            else:
-                self.scheduler.schedule(delay, deliver)
-        # Observed last: the message is on the wire (or provably lost)
-        # before an adaptive adversary may react to it, so a triggered
-        # crash of the sender cannot retract this transmission.
-        self._notify(
-            Observation(
-                kind="send",
-                time_ms=self.scheduler.now,
-                pid=sender,
-                dest=dest,
-                mtype=message_type_name(message),
-                source=getattr(message, "source", None),
-                bid=getattr(message, "bid", None),
-            )
-        )
+        The reusable delivery path: scheduled with explicit arguments
+        instead of a fresh closure per send.  Crash and dormancy are
+        evaluated at delivery time, and the protocol instance is resolved
+        here so mid-flight adaptive conversions receive the message.
+        """
+        if dest in self._crashed:
+            return
+        if self._start_times and self.is_dormant(dest):
+            self._dormant_buffers.setdefault(dest, []).append((sender, message))
+            return
+        commands = self.protocols[dest].on_message(sender, message)
+        if commands:
+            self._execute_commands(dest, commands)
 
     def _execute_delivery(self, pid: int, command: BRBDeliver) -> None:
         self.collector.record_delivery(
@@ -384,29 +521,31 @@ class SimulatedNetwork:
         )
         if self.on_deliver is not None:
             self.on_deliver(pid, command, self.scheduler.now)
-        self._notify(
-            Observation(
-                kind="deliver",
-                time_ms=self.scheduler.now,
-                pid=pid,
-                source=command.source,
-                bid=command.bid,
+        if self.observer is not None:
+            self.observer(
+                Observation(
+                    kind="deliver",
+                    time_ms=self.scheduler.now,
+                    pid=pid,
+                    source=command.source,
+                    bid=command.bid,
+                )
             )
-        )
 
     def _execute_rc_delivery(self, pid: int, command: RCDeliver) -> None:
         source = command.source if command.source is not None else -1
         payload = command.payload if isinstance(command.payload, bytes) else b""
         self.collector.record_delivery(self.scheduler.now, pid, source, 0, payload)
-        self._notify(
-            Observation(
-                kind="deliver",
-                time_ms=self.scheduler.now,
-                pid=pid,
-                source=source,
-                bid=0,
+        if self.observer is not None:
+            self.observer(
+                Observation(
+                    kind="deliver",
+                    time_ms=self.scheduler.now,
+                    pid=pid,
+                    source=source,
+                    bid=0,
+                )
             )
-        )
 
     def _notify(self, observation: Observation) -> None:
         if self.observer is not None:

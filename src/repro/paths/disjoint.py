@@ -32,7 +32,7 @@ from typing import Dict, Iterable, List
 from repro.paths.pathset import PathStore, path_to_bits
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PathAddResult:
     """Outcome of feeding one path to the verifier.
 
@@ -49,6 +49,13 @@ class PathAddResult:
 
     stored: bool
     newly_satisfied: bool
+
+
+#: The four possible outcomes, prebuilt: ``add_path`` runs once per
+#: received path and the result is immutable, so allocating is waste.
+_REDUNDANT = PathAddResult(stored=False, newly_satisfied=False)
+_STORED = PathAddResult(stored=True, newly_satisfied=False)
+_STORED_SATISFIED = PathAddResult(stored=True, newly_satisfied=True)
 
 
 class DisjointPathVerifier:
@@ -123,15 +130,15 @@ class DisjointPathVerifier:
         requirement satisfied for the first time.
         """
         if self._satisfied:
-            return PathAddResult(stored=False, newly_satisfied=False)
+            return _REDUNDANT
         bits = path_to_bits(intermediaries)
         if bits == 0:
             if self._has_direct:
-                return PathAddResult(stored=False, newly_satisfied=False)
+                return _REDUNDANT
             self._has_direct = True
-            return PathAddResult(stored=True, newly_satisfied=self._check_satisfied())
-        if not self._store.add(intermediaries):
-            return PathAddResult(stored=False, newly_satisfied=False)
+            return _STORED_SATISFIED if self._check_satisfied() else _STORED
+        if not self._store.add_bits(bits):
+            return _REDUNDANT
 
         new_entries: Dict[int, List[int]] = {1: [bits]}
         for count in sorted(self._frontier, reverse=True):
@@ -150,7 +157,7 @@ class DisjointPathVerifier:
                 del existing[self.max_combinations :]
             if count > self._best_indirect:
                 self._best_indirect = count
-        return PathAddResult(stored=True, newly_satisfied=self._check_satisfied())
+        return _STORED_SATISFIED if self._check_satisfied() else _STORED
 
     def _check_satisfied(self) -> bool:
         """Return ``True`` when the requirement is met for the first time."""
@@ -166,7 +173,7 @@ class DisjointPathVerifier:
 
 
 def _popcount(bits: int) -> int:
-    return bin(bits).count("1")
+    return bits.bit_count()
 
 
 def _is_dominated(union: int, existing: List[int]) -> bool:

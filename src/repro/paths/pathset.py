@@ -69,7 +69,15 @@ class PathStore:
         (MBD.10).  When the new path dominates stored paths, those are
         evicted so the store stays minimal.
         """
-        bits = path_to_bits(path)
+        return self.add_bits(path_to_bits(path))
+
+    def add_bits(self, bits: int) -> bool:
+        """:meth:`add` for a path already encoded as a node bit-set.
+
+        The disjoint-path verifier computes the bit encoding anyway;
+        accepting it directly avoids encoding the same path twice per
+        reception.
+        """
         self.offered += 1
         if bits in self._seen_exact:
             self.rejected_superpaths += 1

@@ -21,6 +21,7 @@ import dataclasses
 import hashlib
 import json
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
@@ -91,20 +92,33 @@ class TopologySpec:
         return self.n
 
     def build(self, seed: int = 0) -> Topology:
-        """Generate the topology (``seed`` only matters for random kinds)."""
-        if self.kind == "random_regular":
-            return random_regular_topology(
-                self.n, self.k, seed=seed, min_connectivity=self.min_connectivity
-            )
-        if self.kind == "harary":
-            return harary_topology(self.n, self.k)
-        if self.kind == "complete":
-            return complete_topology(self.n)
-        if self.kind == "ring":
-            return ring_topology(self.n)
-        if self.kind == "line":
-            return line_topology(self.n)
-        return torus_topology(self.rows, self.cols)
+        """Generate the topology (``seed`` only matters for random kinds).
+
+        Generation is memoized on ``(spec, seed)``: sweeps run many cells
+        over the same graph (reference and candidate configurations share
+        topologies by design), and regenerating a random regular graph —
+        connectivity check included — costs more than simulating a small
+        cell.  Safe because :class:`~repro.topology.Topology` is
+        immutable and generation is deterministic for a given seed.
+        """
+        return _build_topology(self, seed)
+
+
+@lru_cache(maxsize=128)
+def _build_topology(spec: "TopologySpec", seed: int) -> Topology:
+    if spec.kind == "random_regular":
+        return random_regular_topology(
+            spec.n, spec.k, seed=seed, min_connectivity=spec.min_connectivity
+        )
+    if spec.kind == "harary":
+        return harary_topology(spec.n, spec.k)
+    if spec.kind == "complete":
+        return complete_topology(spec.n)
+    if spec.kind == "ring":
+        return ring_topology(spec.n)
+    if spec.kind == "line":
+        return line_topology(spec.n)
+    return torus_topology(spec.rows, spec.cols)
 
 
 @dataclass(frozen=True)

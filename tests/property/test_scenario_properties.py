@@ -16,6 +16,9 @@ Two contracts are checked over randomly drawn scenarios:
   across executor worker counts.
 """
 
+import json
+from dataclasses import replace
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
@@ -23,9 +26,12 @@ from repro.core.modifications import ModificationSet
 from repro.runner.parallel import SweepExecutor, run_sweep
 from repro.scenarios import (
     AdversarySpec,
+    CrashWhen,
     DelaySpec,
+    ObservationFilter,
     ScenarioSpec,
     TopologySpec,
+    TurnByzantineWhen,
     expand_grid,
     run_scenario,
 )
@@ -184,6 +190,80 @@ def test_lossy_drop_decisions_are_deterministic(spec):
     assert first.metrics.message_count == second.metrics.message_count
     assert first.metrics.delivery_times == second.metrics.delivery_times
     assert spec.scenario_hash() == first.spec.scenario_hash()
+
+
+@st.composite
+def lossy_adaptive_scenarios(draw):
+    """A lossy scenario with an adaptive fault armed on a random trigger."""
+    spec = draw(lossy_scenarios())
+    n = spec.topology.n
+    trigger = ObservationFilter(kind=draw(st.sampled_from(("send", "deliver"))))
+    count = draw(st.integers(min_value=1, max_value=3))
+    pid = draw(st.integers(min_value=0, max_value=n - 1))
+    if spec.f >= 1 and draw(st.booleans()):
+        # A conversion counts against the f budget, so it takes the
+        # place of any statically placed adversaries.
+        return replace(
+            spec,
+            adversaries=(),
+            adaptive=(
+                TurnByzantineWhen(
+                    pid=pid,
+                    after=trigger,
+                    count=count,
+                    behaviour=draw(st.sampled_from(("mute", "drop", "forge"))),
+                ),
+            ),
+        )
+    return replace(spec, adaptive=(CrashWhen(pid=pid, after=trigger, count=count),))
+
+
+def _metrics_blob(result) -> bytes:
+    """Canonical byte serialization of a run's full metrics snapshot."""
+    metrics = result.metrics
+    payload = {
+        "message_count": metrics.message_count,
+        "total_bytes": metrics.total_bytes,
+        "dropped_messages": result.dropped_messages,
+        "messages_by_type": dict(sorted(metrics.messages_by_type.items())),
+        "bytes_by_type": dict(sorted(metrics.bytes_by_type.items())),
+        "messages_by_process": {
+            str(pid): count
+            for pid, count in sorted(metrics.messages_by_process.items())
+        },
+        "bytes_by_process": {
+            str(pid): count
+            for pid, count in sorted(metrics.bytes_by_process.items())
+        },
+        "delivery_times": {
+            repr(key): time for key, time in sorted(metrics.delivery_times.items())
+        },
+        "delivered_payloads": {
+            repr(key): payload.hex()
+            for key, payload in sorted(metrics.delivered_payloads.items())
+        },
+        "state_sizes": {
+            str(pid): size for pid, size in sorted(metrics.state_sizes.items())
+        },
+        "end_time": metrics.end_time,
+    }
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+@pytest.mark.slow
+@settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(spec=lossy_adaptive_scenarios())
+def test_run_metrics_snapshots_are_byte_identical(spec):
+    """The rearchitected hot path changes no number the collector reports.
+
+    Every field of the :class:`RunMetrics` snapshot — message/byte
+    counts and breakdowns, delivery times and payloads, loss accounting,
+    state sizes — must serialize to identical bytes across repeated runs
+    of a randomized lossy/adaptive cell.
+    """
+    first = run_scenario(spec)
+    second = run_scenario(spec)
+    assert _metrics_blob(first) == _metrics_blob(second)
 
 
 @pytest.mark.slow

@@ -250,3 +250,40 @@ class TestAdaptiveFaultValidation:
             run_scenario(
                 ring_spec(f=1, adaptive=(TurnByzantineWhen(pid=42),))
             )
+
+
+class TestAdaptiveDuringDormantReplay:
+    def test_conversion_mid_replay_reaches_the_replacement(self):
+        # Regression: ``_wake`` used to resolve the protocol instance
+        # once before replaying the dormant buffer, so a conversion
+        # triggered by the replay itself kept feeding the pre-conversion
+        # instance.  Here pid 3 sleeps until the whole broadcast has been
+        # buffered for it; its first replayed send fires a mute
+        # conversion, and the rest of the buffer must reach the mute
+        # replacement — pid 3 sends one command batch, not a response
+        # per buffered message.
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=10.0),
+            f=1,
+            seed=1,
+            faults=(DelayedStart(pid=3, time_ms=200.0),),
+            adaptive=(
+                TurnByzantineWhen(
+                    pid=3,
+                    after=ObservationFilter(kind="send", pid=3),
+                    behaviour="mute",
+                ),
+            ),
+        )
+        result = run_scenario(spec)
+        assert (3, "mute") in result.byzantine
+        assert result.all_correct_delivered
+
+        sends = result.metrics.messages_by_process
+        quietest_correct = min(
+            count for pid, count in sends.items() if pid != 3
+        )
+        # One batch is far below a full participation: with the old
+        # stale-instance replay pid 3 matched the correct processes.
+        assert sends.get(3, 0) * 2 < quietest_correct

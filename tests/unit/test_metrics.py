@@ -103,6 +103,13 @@ class TestReport:
         with pytest.raises(ValueError):
             relative_variation_percent(1.0, 0.0)
 
+    def test_relative_variation_propagates_missing_measurements(self):
+        # ``mean_or_none`` yields None when every run in a slice failed;
+        # the variation is then unknown, not a TypeError.
+        assert relative_variation_percent(None, 100.0) is None
+        assert relative_variation_percent(50.0, None) is None
+        assert relative_variation_percent(None, None) is None
+
     def test_boxplot_stats(self):
         stats = boxplot_stats(list(range(101)))
         assert stats.median == 50.0

@@ -18,6 +18,7 @@ from repro.network.simulation.delays import (
     LossyDelay,
     UniformDelay,
 )
+from repro.metrics.collector import MetricsCollector
 from repro.network.simulation.network import SimulatedNetwork
 from repro.network.simulation.scheduler import EventScheduler
 from repro.topology.generators import complete_topology, line_topology
@@ -114,6 +115,30 @@ class TestScheduler:
         with pytest.raises(RuntimeAbort):
             scheduler.run(max_events=100)
 
+    def test_max_events_budget_is_per_call(self):
+        # The budget covers the events of one ``run`` call; a resumed run
+        # gets a fresh budget rather than inheriting the lifetime count.
+        scheduler = EventScheduler()
+        seen = []
+        for index, letter in enumerate("abcdef"):
+            scheduler.schedule(index + 1, seen.append, letter)
+
+        with pytest.raises(RuntimeAbort):
+            scheduler.run(max_events=2)
+        # Events a and b ran; c was consumed by the abort (counted and
+        # removed, callback skipped) like any event that raises mid-run.
+        assert seen == ["a", "b"]
+        assert scheduler.executed_events == 3
+        assert scheduler.pending == 3
+
+        # Three events remain: a lifetime-cumulative budget of 5 would
+        # abort again (3 already counted + 3 more), a per-call budget
+        # lets the resumed run drain them.
+        assert scheduler.run(max_events=5) == pytest.approx(6)
+        assert seen == ["a", "b", "d", "e", "f"]
+        assert scheduler.executed_events == 6
+        assert scheduler.pending == 0
+
 
 class TestDelayModels:
     def test_fixed_delay(self):
@@ -175,6 +200,26 @@ class TestSimulatedNetwork:
         network.broadcast(0, b"value", 0)
         metrics = network.run()
         assert len(metrics.deliveries_for((0, 0))) == 4
+
+    def test_collector_subclass_sees_every_send(self):
+        # The hot path special-cases the stock MetricsCollector; a
+        # subclass overriding ``record_send`` must still be called for
+        # every message put on a link.
+        class CountingCollector(MetricsCollector):
+            def __init__(self):
+                super().__init__()
+                self.calls = 0
+
+            def record_send(self, time, sender, dest, message):
+                self.calls += 1
+                return super().record_send(time, sender, dest, message)
+
+        collector = CountingCollector()
+        network, _ = self._bracha_network(collector=collector)
+        network.broadcast(0, b"value", 0)
+        metrics = network.run()
+        assert metrics.message_count > 0
+        assert collector.calls == metrics.message_count
 
     def test_latency_is_three_link_delays_for_bracha(self):
         network, _ = self._bracha_network(delay_model=FixedDelay(50.0))
@@ -352,6 +397,34 @@ class TestNetworkObserver:
         delivers = [obs for obs in seen if obs.kind == "deliver"]
         assert {obs.pid for obs in delivers} == {0, 1, 2, 3}
         assert all(obs.source == 0 and obs.bid == 0 for obs in delivers)
+
+    def test_no_observations_constructed_without_observer(self, monkeypatch):
+        # The hot path only builds Observation objects when an observer
+        # is attached; an unobserved run must construct none at all.
+        import repro.network.simulation.network as netmod
+
+        constructed = []
+
+        class CountingObservation(netmod.Observation):
+            def __init__(self, *args, **kwargs):
+                constructed.append(1)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(netmod, "Observation", CountingObservation)
+
+        unobserved = self._network()
+        unobserved.broadcast(0, b"value", 0)
+        unobserved.run()
+        assert constructed == []
+
+        # Sanity-check the instrument: the same workload with an
+        # observer attached does construct observations.
+        observed = self._network()
+        seen = []
+        observed.observer = seen.append
+        observed.broadcast(0, b"value", 0)
+        observed.run()
+        assert len(constructed) == len(seen) > 0
 
     def test_observer_crash_suppresses_the_rest_of_the_batch(self):
         # Crash process 0 the moment its first send is observed: the
