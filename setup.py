@@ -24,6 +24,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-sweep-worker=repro.runner.distributed:worker_main",
+            "repro-fuzz=repro.fuzz.cli:main",
         ],
     },
 )

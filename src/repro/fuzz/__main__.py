@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` — the uninstalled form of ``repro-fuzz``."""
+
+import sys
+
+from repro.fuzz.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,396 @@
+"""The fuzzing farm: budgeted adversarial scenario search, forever.
+
+:class:`FuzzFarm` is the always-on analogue of the oracle suite's
+one-shot 60-cell sweep: it streams the unbounded randomized spec stream
+of :mod:`repro.fuzz.sample` through a sweep executor under a time or
+cell budget, judges every result, and persists the interesting ones to a
+:class:`~repro.fuzz.corpus.Corpus`:
+
+* **oracle violations** are shrunk on the spot
+  (:mod:`repro.fuzz.shrink`) and recorded with their minimal reproducer
+  and a regression test stub;
+* **near-f-bound survivors**, **latency outliers** and (optionally)
+  **cross-backend conformance divergences** are recorded as-is.
+
+Dedupe is layered: the shared scenario-hash
+:class:`~repro.runner.cache.ResultCache` keeps re-fuzzed cells from
+re-executing, and the corpus keys records by the same hash, so a
+re-discovered offender never produces a second record.  Everything is
+seed-deterministic — two farms with the same seed and cell budget judge
+the same cells and write the same records — which is what lets CI replay
+any finding.
+
+Executors are pluggable: the default in-process
+:class:`~repro.runner.parallel.SweepExecutor` streams cell by cell
+(worker churn = process pool); a
+:class:`~repro.runner.distributed.DistributedSweepExecutor` (or anything
+with a ``run(cells)`` method) is driven in batches instead, inheriting
+its lease-timeout requeue and degrade-to-local story.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.runner.parallel import SweepExecutor
+from repro.scenarios.conformance import safety_verdict_of
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.oracle import OracleViolation, check_result
+from repro.fuzz.corpus import Corpus, CorpusRecord
+from repro.fuzz.sample import stream_fuzz_specs
+from repro.fuzz.shrink import (
+    ShrinkResult,
+    oracle_evaluator,
+    regression_stub,
+    shrink_failing_spec,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: Result checker signature: one run's oracle violations.
+ResultChecker = Callable[[ScenarioResult], Sequence[OracleViolation]]
+
+#: Batch size used when driving a non-streaming (e.g. distributed)
+#: executor.
+DEFAULT_BATCH_SIZE = 16
+
+
+@dataclass
+class FuzzReport:
+    """What one budgeted farm run did."""
+
+    cells_run: int = 0
+    cache_hits: int = 0
+    elapsed_s: float = 0.0
+    #: New corpus records written this run, hash by category.
+    new_records: Dict[str, List[str]] = field(default_factory=dict)
+    #: Cells whose oracle violations were already in the corpus.
+    duplicate_violations: int = 0
+    #: Shrink statistics of this run's violations.
+    shrink_steps: int = 0
+    shrink_attempts: int = 0
+    manifest_hash: str = ""
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.new_records.get("oracle_violation", [])) + (
+            self.duplicate_violations
+        )
+
+    @property
+    def exit_code(self) -> int:
+        """Process exit status: 0 = oracle green, 2 = violations found."""
+        return 2 if self.violation_count else 0
+
+    def record(self, category: str, scenario_hash: str) -> None:
+        self.new_records.setdefault(category, []).append(scenario_hash)
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"cells run: {self.cells_run} (cache hits: {self.cache_hits}) "
+            f"in {self.elapsed_s:.1f}s",
+        ]
+        for category in sorted(self.new_records):
+            hashes = self.new_records[category]
+            lines.append(f"new {category} records: {len(hashes)}")
+            lines.extend(f"  {scenario_hash}" for scenario_hash in hashes)
+        if self.duplicate_violations:
+            lines.append(
+                f"re-discovered known violations: {self.duplicate_violations}"
+            )
+        if self.shrink_steps or self.shrink_attempts:
+            lines.append(
+                f"shrinker: {self.shrink_steps} accepted steps / "
+                f"{self.shrink_attempts} attempts"
+            )
+        lines.append(f"corpus manifest hash: {self.manifest_hash}")
+        return lines
+
+
+class FuzzFarm:
+    """Long-lived fuzzing coordinator over a sweep executor.
+
+    Parameters
+    ----------
+    corpus_dir:
+        Where interesting specs are persisted (created on demand).
+    cache_dir:
+        Shared scenario-hash result cache; ``None`` disables caching
+        (every cell re-executes).
+    workers:
+        Process-pool width of the default executor (ignored when an
+        ``executor`` is supplied).
+    executor:
+        Any object with ``run(cells) -> results``; one exposing
+        ``run_stream`` (the in-process :class:`SweepExecutor`) is driven
+        cell by cell, anything else — e.g. a
+        ``DistributedSweepExecutor`` — in ``batch_size`` batches.
+    check:
+        Result checker (default: the safety oracle's
+        :func:`~repro.scenarios.oracle.check_result`).  Tests inject
+        instrumented checkers here; the shrinker sees the same checker,
+        so an injected violation shrinks exactly like a real one.
+    backends:
+        Execution backends the spec stream spreads cells over.
+    conformance_backends:
+        When set (e.g. ``("simulation", "asyncio")``), every violation-
+        free cell is re-run on the *other* backend and diverging safety
+        verdicts are recorded — expensive, meant for the nightly lane.
+    shrink:
+        Whether to delta-debug violations down to minimal reproducers.
+    latency_outlier_factor / latency_warmup:
+        A delivered cell whose latency exceeds ``factor ×`` the stream's
+        running mean (after ``warmup`` delivered cells) is recorded as a
+        latency outlier.
+    """
+
+    def __init__(
+        self,
+        corpus_dir: Union[str, Path],
+        *,
+        cache_dir: Optional[Union[str, Path]] = None,
+        workers: int = 1,
+        executor: Optional[object] = None,
+        check: Optional[ResultChecker] = None,
+        seed: int = 0,
+        backends: Sequence[str] = ("simulation",),
+        conformance_backends: Tuple[str, ...] = (),
+        shrink: bool = True,
+        shrink_max_attempts: int = 500,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        workload_fraction: float = 0.25,
+        latency_outlier_factor: float = 4.0,
+        latency_warmup: int = 24,
+    ) -> None:
+        self.corpus = Corpus(corpus_dir)
+        self.executor = executor or SweepExecutor(
+            workers=workers, cache_dir=cache_dir
+        )
+        self.check: ResultChecker = check if check is not None else check_result
+        self.seed = seed
+        self.backends = tuple(backends)
+        self.conformance_backends = tuple(conformance_backends)
+        self.shrink_enabled = shrink
+        self.shrink_max_attempts = shrink_max_attempts
+        self.batch_size = batch_size
+        self.workload_fraction = workload_fraction
+        self.latency_outlier_factor = latency_outlier_factor
+        self.latency_warmup = latency_warmup
+        # Running latency statistics (across one run() call).
+        self._latency_sum = 0.0
+        self._latency_count = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        time_budget_s: Optional[float] = None,
+        max_cells: Optional[int] = None,
+    ) -> FuzzReport:
+        """One budgeted pass: stream, judge, persist; returns the report.
+
+        At least one budget must be given — the spec stream is infinite.
+        """
+        if time_budget_s is None and max_cells is None:
+            raise ValueError(
+                "an unbounded farm run needs a budget: pass time_budget_s "
+                "and/or max_cells"
+            )
+        started = time.monotonic()
+        report = FuzzReport()
+        self._latency_sum = 0.0
+        self._latency_count = 0
+        specs = stream_fuzz_specs(
+            seed=self.seed,
+            backends=self.backends,
+            workload_fraction=self.workload_fraction,
+        )
+        if hasattr(self.executor, "run_stream"):
+            for item in self.executor.run_stream(
+                specs, time_budget_s=time_budget_s, max_cells=max_cells
+            ):
+                report.cells_run += 1
+                self._judge(item.spec, item.result, report)
+            report.cache_hits = getattr(self.executor, "cache_hits", 0)
+        else:
+            self._run_batched(
+                specs,
+                report,
+                started=started,
+                time_budget_s=time_budget_s,
+                max_cells=max_cells,
+            )
+        report.elapsed_s = time.monotonic() - started
+        self.corpus.write_manifest()
+        report.manifest_hash = self.corpus.manifest_hash()
+        return report
+
+    def _run_batched(
+        self,
+        specs,
+        report: FuzzReport,
+        *,
+        started: float,
+        time_budget_s: Optional[float],
+        max_cells: Optional[int],
+    ) -> None:
+        """Drive a batch executor (e.g. distributed) under the budget."""
+        while True:
+            if time_budget_s is not None and time.monotonic() - started >= time_budget_s:
+                return
+            remaining = None if max_cells is None else max_cells - report.cells_run
+            if remaining is not None and remaining <= 0:
+                return
+            size = self.batch_size if remaining is None else min(self.batch_size, remaining)
+            batch = []
+            for _ in range(size):
+                try:
+                    batch.append(next(specs))
+                except StopIteration:
+                    break
+            if not batch:
+                return
+            results = self.executor.run(batch)
+            report.cache_hits += getattr(self.executor, "cache_hits", 0)
+            for spec, result in zip(batch, results):
+                report.cells_run += 1
+                self._judge(spec, result, report)
+
+    # ------------------------------------------------------------------
+    # Judging
+    # ------------------------------------------------------------------
+    def _judge(
+        self, spec: ScenarioSpec, result: ScenarioResult, report: FuzzReport
+    ) -> None:
+        violations = tuple(self.check(result))
+        if violations:
+            self._record_violation(spec, result, violations, report)
+            return
+        if self.conformance_backends and spec.backend in self.conformance_backends:
+            self._check_conformance(spec, result, report)
+        byzantine_count = len(result.byzantine)
+        if spec.f > 0 and byzantine_count >= spec.f:
+            self._record(
+                report,
+                CorpusRecord(
+                    category="near_f_bound",
+                    spec=spec,
+                    stats=self._stats(result),
+                    discovery=self._discovery(spec),
+                ),
+            )
+        latency = result.latency_ms
+        if latency is not None:
+            if (
+                self._latency_count >= self.latency_warmup
+                and self._latency_count > 0
+                and latency
+                > self.latency_outlier_factor
+                * (self._latency_sum / self._latency_count)
+            ):
+                self._record(
+                    report,
+                    CorpusRecord(
+                        category="latency_outlier",
+                        spec=spec,
+                        stats=self._stats(result),
+                        discovery=self._discovery(spec),
+                    ),
+                )
+            self._latency_sum += latency
+            self._latency_count += 1
+
+    def _record_violation(
+        self,
+        spec: ScenarioSpec,
+        result: ScenarioResult,
+        violations: Tuple[OracleViolation, ...],
+        report: FuzzReport,
+    ) -> None:
+        if spec.scenario_hash() in self.corpus:
+            report.duplicate_violations += 1
+            return
+        shrunk: Optional[ShrinkResult] = None
+        stub: Optional[str] = None
+        if self.shrink_enabled:
+            shrunk = shrink_failing_spec(
+                spec,
+                oracle_evaluator(self.check),
+                max_attempts=self.shrink_max_attempts,
+            )
+            report.shrink_steps += len(shrunk.steps)
+            report.shrink_attempts += shrunk.attempts
+            stub = regression_stub(shrunk.minimal, shrunk.violations)
+        self._record(
+            report,
+            CorpusRecord(
+                category="oracle_violation",
+                spec=spec,
+                violations=tuple((v.invariant, v.detail) for v in violations),
+                stats=self._stats(result),
+                shrunk_spec=None if shrunk is None else shrunk.minimal,
+                shrunk_violations=()
+                if shrunk is None
+                else tuple((v.invariant, v.detail) for v in shrunk.violations),
+                regression_stub=stub,
+                discovery=self._discovery(spec),
+            ),
+        )
+
+    def _check_conformance(
+        self, spec: ScenarioSpec, result: ScenarioResult, report: FuzzReport
+    ) -> None:
+        others = [b for b in self.conformance_backends if b != spec.backend]
+        for backend in others:
+            mirrored = run_scenario(spec.with_backend(backend))
+            if safety_verdict_of(mirrored) != safety_verdict_of(result):
+                self._record(
+                    report,
+                    CorpusRecord(
+                        category="conformance_divergence",
+                        spec=spec,
+                        stats={
+                            **self._stats(result),
+                            "diverging_backend": backend,
+                        },
+                        discovery=self._discovery(spec),
+                    ),
+                )
+
+    # ------------------------------------------------------------------
+    # Record helpers
+    # ------------------------------------------------------------------
+    def _record(self, report: FuzzReport, record: CorpusRecord) -> None:
+        if self.corpus.add(record):
+            report.record(record.category, record.scenario_hash)
+
+    def _discovery(self, spec: ScenarioSpec) -> Dict[str, object]:
+        return {
+            "stream_seed": self.seed,
+            "backend": spec.backend,
+            "spec_name": spec.name,
+        }
+
+    @staticmethod
+    def _stats(result: ScenarioResult) -> Dict[str, object]:
+        return {
+            "latency_ms": result.latency_ms,
+            "total_bytes": result.total_bytes,
+            "message_count": result.message_count,
+            "dropped_messages": result.dropped_messages,
+            "byzantine": len(result.byzantine),
+            "crashed": len(result.crashed),
+            "broadcasts": result.broadcast_count,
+        }
+
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "FuzzReport",
+    "FuzzFarm",
+    "ResultChecker",
+]

@@ -1,0 +1,81 @@
+"""Unbounded randomized scenario streams for the fuzzing farm.
+
+:func:`stream_fuzz_specs` turns the oracle suite's one-shot randomized
+grid sampler
+(:func:`~repro.scenarios.oracle.sample_lossy_adaptive_specs`) into an
+infinite, seed-deterministic generator: round ``r`` draws one batch with
+derived seed ``seed + r``, decorates a deterministic fraction of the
+cells with multi-broadcast workloads (the workload axis the one-shot
+sampler does not cover) and spreads the cells over the requested
+backends.  Two streams with the same arguments yield the same specs in
+the same order, which is what makes a fuzz run — and any shrink that
+follows — replayable from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from repro.scenarios.oracle import sample_lossy_adaptive_specs
+from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+
+#: Cells drawn per sampler round (one derived seed each round).
+BATCH_SIZE = 32
+
+#: Mixing constant separating the per-round decoration RNG from the
+#: sampler's own seed stream.
+_DECORATION_SALT = 0x5EEDF022
+
+
+def _with_random_workload(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpec:
+    """Attach a small sensor-style workload to ``spec`` (seed-driven)."""
+    n = spec.topology.node_count
+    count = rng.randint(2, 4)
+    interval = rng.choice((10.0, 25.0, 40.0))
+    if n >= 2 and rng.random() < 0.5:
+        sources = (0, 1)
+        workload = WorkloadSpec.round_robin(sources, count, interval)
+    else:
+        workload = WorkloadSpec.repeated(0, count, interval)
+    return spec.with_workload(workload)
+
+
+def stream_fuzz_specs(
+    *,
+    seed: int = 0,
+    backends: Sequence[str] = ("simulation",),
+    name: str = "fuzz",
+    batch_size: int = BATCH_SIZE,
+    workload_fraction: float = 0.25,
+) -> Iterator[ScenarioSpec]:
+    """Yield an endless, deterministic stream of fuzz cells.
+
+    ``backends`` spreads the stream over execution backends (each cell
+    is assigned one); ``workload_fraction`` of the cells carry a
+    randomized multi-broadcast workload on top of the lossy/adaptive
+    axes.  The caller bounds consumption — typically via
+    :meth:`~repro.runner.parallel.SweepExecutor.run_stream` budgets.
+    """
+    backends = tuple(backends)
+    if not backends:
+        raise ValueError("stream_fuzz_specs needs at least one backend")
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    round_index = 0
+    while True:
+        cells = sample_lossy_adaptive_specs(
+            batch_size, seed=seed + round_index, name=f"{name}-r{round_index}"
+        )
+        rng = random.Random(seed * 1_000_003 + round_index + _DECORATION_SALT)
+        for spec in cells:
+            backend = backends[0] if len(backends) == 1 else rng.choice(backends)
+            if backend != spec.backend:
+                spec = spec.with_backend(backend)
+            if rng.random() < workload_fraction:
+                spec = _with_random_workload(spec, rng)
+            yield spec
+        round_index += 1
+
+
+__all__ = ["BATCH_SIZE", "stream_fuzz_specs"]

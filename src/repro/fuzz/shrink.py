@@ -1,0 +1,225 @@
+"""Delta-debugging shrinker for oracle-violating scenario specs.
+
+Given a spec whose run violates the safety oracle,
+:func:`shrink_failing_spec` greedily walks the reduction operators of
+:mod:`repro.scenarios.reduce` — drop fault events, shrink the topology
+toward the ``2f + 1`` bound, shorten the workload, simplify the delay
+model — re-evaluating the oracle after every step and keeping a
+reduction only when the original violation survives (the reduced run
+must violate at least every invariant the original run violated).  The
+loop restarts from the first operator after each accepted reduction and
+stops at a fixpoint: a spec none of whose reductions still violates —
+the minimal reproducer, the way hypothesis shrinks failing examples.
+
+Everything is deterministic: operators and their candidates come in a
+fixed order, evaluation is memoized by scenario hash (a simulation run
+is a pure function of the spec), and the accepted steps are recorded so
+a shrink can be audited and replayed.  :func:`regression_stub` renders
+the minimal spec as a ready-to-paste pytest test.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.scenarios.engine import ScenarioResult, run_scenario
+from repro.scenarios.jsonio import dumps_spec_json
+from repro.scenarios.oracle import OracleViolation, check_result
+from repro.scenarios.reduce import reduction_candidates, spec_size
+from repro.scenarios.spec import ScenarioSpec
+
+#: ``evaluate(spec) -> violations`` — the shrinker's only view of a run.
+SpecEvaluator = Callable[[ScenarioSpec], Sequence[OracleViolation]]
+
+#: Attempt ceiling: candidate evaluations, not accepted steps.  Shrinks
+#: converge in far fewer; the ceiling turns a pathological interaction
+#: into a truncated-but-valid result instead of an endless loop.
+DEFAULT_MAX_ATTEMPTS = 2000
+
+
+def oracle_evaluator(
+    evaluate_result: Optional[Callable[[ScenarioResult], Sequence[OracleViolation]]] = None,
+) -> SpecEvaluator:
+    """The default evaluator: run the spec, check the safety oracle.
+
+    ``evaluate_result`` replaces the oracle check (the fuzz farm passes
+    its own — possibly instrumented — result checker through here, and
+    the tests inject crafted violation detectors).  Evaluations are
+    memoized by scenario hash: the simulation backend is deterministic,
+    so re-running an already-judged candidate could only waste time.
+    """
+    check = check_result if evaluate_result is None else evaluate_result
+    memo: Dict[str, Tuple[OracleViolation, ...]] = {}
+
+    def evaluate(spec: ScenarioSpec) -> Tuple[OracleViolation, ...]:
+        key = spec.scenario_hash()
+        if key not in memo:
+            memo[key] = tuple(check(run_scenario(spec)))
+        return memo[key]
+
+    return evaluate
+
+
+@dataclass(frozen=True)
+class ShrinkStep:
+    """One accepted reduction."""
+
+    operator: str
+    scenario_hash: str
+    size: int
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """Outcome of one shrink: the minimal spec and how it was reached."""
+
+    original: ScenarioSpec
+    minimal: ScenarioSpec
+    #: Violations of the *minimal* spec (a superset of the original's
+    #: violated invariants, by the acceptance rule).
+    violations: Tuple[OracleViolation, ...]
+    steps: Tuple[ShrinkStep, ...]
+    #: Candidate evaluations spent (accepted + rejected).
+    attempts: int
+    #: Whether the shrink stopped at a true fixpoint (False: attempt
+    #: ceiling hit first; the result is still valid, just maybe not
+    #: minimal).
+    at_fixpoint: bool
+
+    @property
+    def reduced(self) -> bool:
+        return bool(self.steps)
+
+    @property
+    def size_before(self) -> int:
+        return spec_size(self.original)
+
+    @property
+    def size_after(self) -> int:
+        return spec_size(self.minimal)
+
+
+def _invariants(violations: Sequence[OracleViolation]) -> frozenset:
+    return frozenset(violation.invariant for violation in violations)
+
+
+def shrink_failing_spec(
+    spec: ScenarioSpec,
+    evaluate: Optional[SpecEvaluator] = None,
+    *,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+) -> ShrinkResult:
+    """Greedily reduce ``spec`` while its oracle violation survives.
+
+    ``evaluate`` defaults to :func:`oracle_evaluator` (run + safety
+    oracle, memoized).  Raises ``ValueError`` when ``spec`` does not
+    violate under ``evaluate`` — shrinking a passing spec is a caller
+    bug, not an empty result.
+
+    A candidate is accepted when evaluation succeeds (a reduction that
+    makes the spec unrunnable is discarded) and the candidate violates
+    at least every invariant the original did.  Greedy first-accept with
+    operators in fixed order + deterministic evaluation ⇒ the same spec
+    shrinks through the same steps every time.
+    """
+    if evaluate is None:
+        evaluate = oracle_evaluator()
+    baseline = tuple(evaluate(spec))
+    if not baseline:
+        raise ValueError(
+            f"spec {spec.name!r} (hash {spec.scenario_hash()[:12]}) does not "
+            "violate the oracle; nothing to shrink"
+        )
+    required = _invariants(baseline)
+
+    current = spec
+    current_violations = baseline
+    steps = []
+    attempts = 0
+    at_fixpoint = False
+    while True:
+        progressed = False
+        for operator, candidate in reduction_candidates(current):
+            if attempts >= max_attempts:
+                break
+            attempts += 1
+            try:
+                violations = tuple(evaluate(candidate))
+            except Exception:
+                # The reduction produced a spec the engine rejects
+                # (e.g. a cut link the smaller topology no longer has):
+                # not a violation-preserving candidate, move on.
+                continue
+            if violations and required <= _invariants(violations):
+                steps.append(
+                    ShrinkStep(
+                        operator=operator,
+                        scenario_hash=candidate.scenario_hash(),
+                        size=spec_size(candidate),
+                    )
+                )
+                current = candidate
+                current_violations = violations
+                progressed = True
+                break
+        else:
+            at_fixpoint = True
+        if not progressed:
+            break
+    return ShrinkResult(
+        original=spec,
+        minimal=current,
+        violations=current_violations,
+        steps=tuple(steps),
+        attempts=attempts,
+        at_fixpoint=at_fixpoint,
+    )
+
+
+def regression_stub(
+    spec: ScenarioSpec,
+    violations: Sequence[OracleViolation],
+    *,
+    test_name: Optional[str] = None,
+) -> str:
+    """A ready-to-paste pytest regression test for a minimal reproducer.
+
+    The stub embeds the spec as JSON (code-refactor-proof via
+    :mod:`repro.scenarios.jsonio`), re-runs it and asserts the violated
+    invariants are *gone* — paste it once the bug is fixed, or flip the
+    assertion to pin the violation while triaging.
+    """
+    short_hash = spec.scenario_hash()[:12]
+    name = test_name or f"test_regression_{short_hash}"
+    invariants = sorted(_invariants(violations))
+    spec_json = dumps_spec_json(spec)
+    body = textwrap.dedent(
+        '''\
+        def {name}():
+            """Shrunk fuzz reproducer {short_hash} (violated: {invariants})."""
+            from repro.scenarios import run_scenario
+            from repro.scenarios.jsonio import loads_spec_json
+            from repro.scenarios.oracle import check_result
+
+            spec = loads_spec_json(SPEC_JSON_{short_hash})
+            violations = check_result(run_scenario(spec))
+            assert violations == [], [
+                (v.invariant, v.detail) for v in violations
+            ]
+        '''
+    ).format(name=name, short_hash=short_hash, invariants=", ".join(invariants))
+    spec_literal = f'SPEC_JSON_{short_hash} = r"""\n{spec_json}\n"""\n'
+    return spec_literal + "\n\n" + body
+
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "SpecEvaluator",
+    "oracle_evaluator",
+    "ShrinkStep",
+    "ShrinkResult",
+    "shrink_failing_spec",
+    "regression_stub",
+]

@@ -27,7 +27,7 @@ from repro.runner.experiment import (
     run_experiment,
     run_repeated,
 )
-from repro.runner.parallel import SweepExecutor, run_sweep
+from repro.runner.parallel import StreamedResult, SweepExecutor, run_sweep
 from repro.runner.sweep import SweepPoint, sweep
 
 __all__ = [
@@ -38,6 +38,7 @@ __all__ = [
     "SweepPoint",
     "sweep",
     "SweepExecutor",
+    "StreamedResult",
     "run_sweep",
     "DistributedSweepExecutor",
     "run_distributed_sweep",

@@ -36,8 +36,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.runner.cache import ResultCache, partition_cached
 from repro.scenarios.engine import ScenarioResult, run_scenario
@@ -47,6 +50,18 @@ from repro.scenarios.spec import ScenarioSpec
 def _execute_cell(spec: ScenarioSpec) -> ScenarioResult:
     """Top-level worker entry point (must be picklable for the pool)."""
     return run_scenario(spec)
+
+
+@dataclass(frozen=True)
+class StreamedResult:
+    """One cell's outcome as yielded by :meth:`SweepExecutor.run_stream`."""
+
+    #: Position of the cell in the consumed stream (0-based).
+    index: int
+    spec: ScenarioSpec
+    result: ScenarioResult
+    #: Whether the result was served from the scenario-hash cache.
+    cached: bool
 
 
 class SweepExecutor:
@@ -111,6 +126,116 @@ class SweepExecutor:
 
         return results  # type: ignore[return-value]
 
+    # ------------------------------------------------------------------
+    # Budgeted streaming execution
+    # ------------------------------------------------------------------
+    def run_stream(
+        self,
+        cells: Iterable[ScenarioSpec],
+        *,
+        time_budget_s: Optional[float] = None,
+        max_cells: Optional[int] = None,
+    ) -> Iterator[StreamedResult]:
+        """Stream results from a (possibly unbounded) iterable of cells.
+
+        This is the fuzzing farm's ingestion path: ``cells`` may be an
+        infinite generator, and execution stops *consuming* it once the
+        time budget elapses or ``max_cells`` cells have been taken —
+        whichever comes first (no budget means: drain the iterable).
+        Results are yielded in consumption order, as soon as available:
+
+        * on the serial path each cell runs inline, so the budget is
+          checked between cells;
+        * with ``workers > 1`` a process-pool window of ``workers``
+          cells is kept in flight; cells already dispatched when the
+          budget runs out still complete and are yielded (a budgeted
+          stream never discards computed results — they are cached).
+
+        Cache semantics match :meth:`run`: each consumed cell is first
+        looked up by scenario hash (hits count toward ``max_cells`` and
+        ``cache_hits``), and every fresh result is persisted.
+        """
+        if time_budget_s is not None and time_budget_s < 0:
+            raise ValueError(f"time_budget_s must be >= 0, got {time_budget_s}")
+        if max_cells is not None and max_cells < 0:
+            raise ValueError(f"max_cells must be >= 0, got {max_cells}")
+        deadline = (
+            None if time_budget_s is None else time.monotonic() + time_budget_s
+        )
+        iterator = iter(cells)
+        self.cache_hits = 0
+        consumed = 0
+
+        def budget_allows_next() -> bool:
+            if max_cells is not None and consumed >= max_cells:
+                return False
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            return True
+
+        if self.workers <= 1:
+            index = 0
+            while budget_allows_next():
+                try:
+                    spec = next(iterator)
+                except StopIteration:
+                    return
+                consumed += 1
+                cached = self.cache.load(spec)
+                if cached is not None:
+                    self.cache_hits += 1
+                    yield StreamedResult(index, spec, cached, True)
+                else:
+                    result = _execute_cell(spec)
+                    self.cache.store(result)
+                    yield StreamedResult(index, spec, result, False)
+                index += 1
+            return
+
+        context = (
+            multiprocessing.get_context(self.mp_context)
+            if self.mp_context is not None
+            else multiprocessing
+        )
+        # (index, spec, pending AsyncResult or None, cached result or None)
+        in_flight: deque = deque()
+        with context.Pool(processes=self.workers) as pool:
+            index = 0
+            exhausted = False
+            while True:
+                while (
+                    not exhausted
+                    and len(in_flight) < self.workers
+                    and budget_allows_next()
+                ):
+                    try:
+                        spec = next(iterator)
+                    except StopIteration:
+                        exhausted = True
+                        break
+                    consumed += 1
+                    cached = self.cache.load(spec)
+                    if cached is not None:
+                        self.cache_hits += 1
+                        in_flight.append((index, spec, None, cached))
+                    else:
+                        in_flight.append(
+                            (index, spec, pool.apply_async(_execute_cell, (spec,)), None)
+                        )
+                    index += 1
+                if not in_flight:
+                    # Nothing pending and nothing more to consume: the
+                    # fill loop above only leaves in_flight empty when
+                    # the stream is exhausted or the budget ran out.
+                    return
+                item_index, spec, pending, cached = in_flight.popleft()
+                if pending is None:
+                    yield StreamedResult(item_index, spec, cached, True)
+                else:
+                    result = pending.get()
+                    self.cache.store(result)
+                    yield StreamedResult(item_index, spec, result, False)
+
 
 def run_sweep(
     cells: Sequence[ScenarioSpec],
@@ -124,4 +249,4 @@ def run_sweep(
     return executor.run(cells)
 
 
-__all__ = ["SweepExecutor", "run_sweep"]
+__all__ = ["SweepExecutor", "StreamedResult", "run_sweep"]

@@ -83,7 +83,20 @@ from repro.scenarios.oracle import (
     sample_lossy_adaptive_specs,
     totality_expected,
 )
+from repro.scenarios.jsonio import (
+    SpecJSONError,
+    dumps_spec_json,
+    loads_spec_json,
+    spec_from_jsonable,
+    spec_to_jsonable,
+)
 from repro.scenarios.placement import PLACEMENT_STRATEGIES, place_adversaries
+from repro.scenarios.reduce import (
+    REDUCTION_OPERATORS,
+    fault_event_count,
+    reduction_candidates,
+    spec_size,
+)
 from repro.scenarios.serialize import (
     SerializationError,
     dumps_result,
@@ -167,4 +180,15 @@ __all__ = [
     "loads_spec",
     "dumps_result",
     "loads_result",
+    # JSON spec serialization (corpus format)
+    "SpecJSONError",
+    "spec_to_jsonable",
+    "spec_from_jsonable",
+    "dumps_spec_json",
+    "loads_spec_json",
+    # spec reduction (delta debugging)
+    "REDUCTION_OPERATORS",
+    "reduction_candidates",
+    "fault_event_count",
+    "spec_size",
 ]

@@ -1,0 +1,214 @@
+"""Corpus and spec-JSON codec tests: round trips preserve scenario
+hashes, records validate against the schema, the manifest hash is a
+stable cache key, and replay re-runs a stored spec exactly."""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    CrashWhen,
+    DelaySpec,
+    ObservationFilter,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+)
+from repro.scenarios.jsonio import (
+    SpecJSONError,
+    dumps_spec_json,
+    loads_spec_json,
+    spec_from_jsonable,
+    spec_to_jsonable,
+)
+from repro.scenarios.oracle import sample_lossy_adaptive_specs
+from repro.fuzz.corpus import (
+    CATEGORIES,
+    RECORD_SCHEMA_VERSION,
+    Corpus,
+    CorpusRecord,
+    validate_record_data,
+)
+
+
+def _spec(seed=0, **kwargs):
+    kwargs.setdefault("name", "corpus-test")
+    kwargs.setdefault("topology", TopologySpec(kind="complete", n=4))
+    return ScenarioSpec(seed=seed, **kwargs)
+
+
+def _record(seed=0, category="near_f_bound", **kwargs):
+    return CorpusRecord(category=category, spec=_spec(seed=seed), **kwargs)
+
+
+class TestSpecJSON:
+    def test_roundtrip_preserves_equality_and_hash(self):
+        specs = sample_lossy_adaptive_specs(20, seed=7, name="rt")
+        for spec in specs:
+            decoded = loads_spec_json(dumps_spec_json(spec))
+            assert decoded == spec
+            assert decoded.scenario_hash() == spec.scenario_hash()
+
+    def test_roundtrip_covers_workload_and_adaptive(self):
+        spec = _spec(
+            delay=DelaySpec(kind="uniform", mean_ms=5.0, loss=0.1),
+            f=1,
+            adaptive=(CrashWhen(pid=1, after=ObservationFilter(kind="send")),),
+            workload=WorkloadSpec.repeated(0, 3, 10.0),
+        )
+        decoded = loads_spec_json(dumps_spec_json(spec))
+        assert decoded == spec
+        assert isinstance(decoded.adaptive[0], CrashWhen)
+        assert decoded.workload is not None
+        assert decoded.workload.broadcasts == spec.workload.broadcasts
+
+    def test_unknown_type_tag_is_rejected(self):
+        with pytest.raises(SpecJSONError, match="unknown spec type tag"):
+            spec_from_jsonable({"__type__": "EvilSpec"})
+
+    def test_missing_type_tag_is_rejected(self):
+        with pytest.raises(SpecJSONError, match="lacks a __type__ tag"):
+            spec_from_jsonable({"n": 4})
+
+    def test_unknown_field_is_rejected(self):
+        document = spec_to_jsonable(_spec())
+        document["not_a_field"] = 1
+        with pytest.raises(SpecJSONError, match="has no field"):
+            spec_from_jsonable(document)
+
+    def test_malformed_json_is_rejected(self):
+        with pytest.raises(SpecJSONError, match="malformed spec JSON"):
+            loads_spec_json("{not json")
+
+    def test_unregistered_dataclass_cannot_encode(self):
+        import dataclasses
+
+        @dataclasses.dataclass
+        class Rogue:
+            x: int = 1
+
+        with pytest.raises(SpecJSONError, match="not a registered spec type"):
+            spec_to_jsonable(Rogue())
+
+
+class TestCorpusRecord:
+    def test_roundtrip(self):
+        record = CorpusRecord(
+            category="oracle_violation",
+            spec=_spec(seed=3),
+            violations=(("no_forgery", "crafted"),),
+            stats={"latency_ms": 12.5},
+            shrunk_spec=_spec(seed=3, topology=TopologySpec(kind="complete", n=2)),
+            shrunk_violations=(("no_forgery", "crafted"),),
+            regression_stub="def test(): pass",
+            discovery={"stream_seed": 0},
+        )
+        restored = CorpusRecord.from_jsonable(record.to_jsonable())
+        assert restored == record
+
+    def test_unknown_category_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown corpus category"):
+            CorpusRecord(category="interesting", spec=_spec())
+
+    def test_validate_flags_schema_version_category_and_hash(self):
+        data = _record().to_jsonable()
+        assert validate_record_data(data) == []
+        assert "schema must be" in "".join(
+            validate_record_data({**data, "schema": RECORD_SCHEMA_VERSION + 1})
+        )
+        assert "unknown category" in "".join(
+            validate_record_data({**data, "category": "nope"})
+        )
+        assert "does not match" in "".join(
+            validate_record_data({**data, "hash": "0" * 64})
+        )
+        assert "lacks a spec" in "".join(
+            validate_record_data({k: v for k, v in data.items() if k != "spec"})
+        )
+        assert "must be a list" in "".join(
+            validate_record_data({**data, "violations": "oops"})
+        )
+        assert validate_record_data([]) == [
+            "record must be a JSON object, got list"
+        ]
+
+
+class TestCorpus:
+    def test_add_is_deduplicated_by_hash(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        record = _record()
+        assert corpus.add(record) is True
+        assert corpus.add(record) is False
+        assert record.scenario_hash in corpus
+        assert corpus.hashes() == (record.scenario_hash,)
+
+    def test_load_and_records_roundtrip(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        first, second = _record(seed=1), _record(seed=2)
+        corpus.add(first)
+        corpus.add(second)
+        assert corpus.load(first.scenario_hash) == first
+        assert sorted(r.scenario_hash for r in corpus.records()) == sorted(
+            [first.scenario_hash, second.scenario_hash]
+        )
+
+    def test_load_missing_raises_keyerror(self, tmp_path):
+        with pytest.raises(KeyError):
+            Corpus(tmp_path).load("f" * 64)
+
+    def test_manifest_hash_tracks_content_not_insertion_order(self, tmp_path):
+        forward, backward = Corpus(tmp_path / "a"), Corpus(tmp_path / "b")
+        records = [_record(seed=seed) for seed in (1, 2, 3)]
+        for record in records:
+            forward.add(record)
+        for record in reversed(records):
+            backward.add(record)
+        assert forward.manifest_hash() == backward.manifest_hash()
+        empty_hash = Corpus(tmp_path / "empty").manifest_hash()
+        assert empty_hash != forward.manifest_hash()
+        backward.add(_record(seed=4))
+        assert forward.manifest_hash() != backward.manifest_hash()
+
+    def test_write_manifest_lists_every_record(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        corpus.add(_record(seed=1))
+        corpus.add(_record(seed=2, category="latency_outlier"))
+        path = corpus.write_manifest()
+        manifest = json.loads(path.read_text())
+        assert manifest["schema"] == RECORD_SCHEMA_VERSION
+        assert sorted(e["hash"] for e in manifest["records"]) == list(corpus.hashes())
+        assert {e["category"] for e in manifest["records"]} == {
+            "near_f_bound",
+            "latency_outlier",
+        }
+        # The manifest file itself is never mistaken for a record.
+        assert "manifest" not in corpus.hashes()
+
+    def test_validate_reports_corrupt_records(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        record = _record()
+        corpus.add(record)
+        assert corpus.validate() == {}
+        # A record stored under the wrong name and a truncated file.
+        good = corpus.path_for(record.scenario_hash).read_text()
+        (tmp_path / ("a" * 64 + ".json")).write_text(good)
+        (tmp_path / ("b" * 64 + ".json")).write_text("{truncated")
+        problems = corpus.validate()
+        assert set(problems) == {"a" * 64 + ".json", "b" * 64 + ".json"}
+        assert any("file name hash" in p for p in problems["a" * 64 + ".json"])
+        assert any("unreadable" in p for p in problems["b" * 64 + ".json"])
+
+    def test_replay_reruns_the_stored_spec(self, tmp_path):
+        corpus = Corpus(tmp_path)
+        record = _record(seed=9)
+        corpus.add(record)
+        result = corpus.replay(record.scenario_hash)
+        assert result.spec == record.spec
+
+    def test_categories_are_the_documented_four(self):
+        assert CATEGORIES == (
+            "oracle_violation",
+            "conformance_divergence",
+            "near_f_bound",
+            "latency_outlier",
+        )

@@ -1,0 +1,127 @@
+"""Budgeted streaming execution (:meth:`SweepExecutor.run_stream`):
+cell budgets, time budgets over infinite generators, cache semantics,
+and serial/pool equivalence."""
+
+import itertools
+
+import pytest
+
+from repro.runner import StreamedResult, SweepExecutor
+from repro.scenarios import DelaySpec, ScenarioSpec, TopologySpec
+
+
+def _cells(count):
+    return [
+        ScenarioSpec(
+            name=f"stream-{index}",
+            topology=TopologySpec(kind="complete", n=4),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            seed=index,
+        )
+        for index in range(count)
+    ]
+
+
+def _infinite_cells():
+    for index in itertools.count():
+        yield ScenarioSpec(
+            name=f"endless-{index}",
+            topology=TopologySpec(kind="complete", n=4),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            seed=index,
+        )
+
+
+class TestBudgets:
+    def test_max_cells_bounds_an_infinite_stream(self):
+        executor = SweepExecutor(workers=1)
+        streamed = list(executor.run_stream(_infinite_cells(), max_cells=5))
+        assert [item.index for item in streamed] == [0, 1, 2, 3, 4]
+        assert all(isinstance(item, StreamedResult) for item in streamed)
+        assert all(item.result.spec == item.spec for item in streamed)
+
+    def test_no_budget_drains_a_finite_iterable(self):
+        executor = SweepExecutor(workers=1)
+        streamed = list(executor.run_stream(_cells(3)))
+        assert len(streamed) == 3
+
+    def test_zero_cell_budget_consumes_nothing(self):
+        executor = SweepExecutor(workers=1)
+        consumed = []
+
+        def tracking():
+            for spec in _infinite_cells():
+                consumed.append(spec)
+                yield spec
+
+        assert list(executor.run_stream(tracking(), max_cells=0)) == []
+        assert consumed == []
+
+    def test_time_budget_stops_consumption(self):
+        executor = SweepExecutor(workers=1)
+        streamed = list(
+            executor.run_stream(_infinite_cells(), time_budget_s=0.2)
+        )
+        # The budget is checked between cells: the stream terminated and
+        # made progress, without draining the infinite generator.
+        assert streamed
+        assert [item.index for item in streamed] == list(range(len(streamed)))
+
+    def test_expired_time_budget_runs_nothing(self):
+        executor = SweepExecutor(workers=1)
+        assert list(executor.run_stream(_infinite_cells(), time_budget_s=0.0)) == []
+
+    def test_invalid_budgets_are_rejected(self):
+        executor = SweepExecutor(workers=1)
+        with pytest.raises(ValueError, match="time_budget_s"):
+            list(executor.run_stream(_cells(1), time_budget_s=-1.0))
+        with pytest.raises(ValueError, match="max_cells"):
+            list(executor.run_stream(_cells(1), max_cells=-1))
+
+
+class TestCache:
+    def test_cache_hits_count_and_flag(self, tmp_path):
+        executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+        cells = _cells(3)
+        first = list(executor.run_stream(cells, max_cells=3))
+        assert executor.cache_hits == 0
+        assert [item.cached for item in first] == [False, False, False]
+        second = list(executor.run_stream(cells, max_cells=3))
+        assert executor.cache_hits == 3
+        assert [item.cached for item in second] == [True, True, True]
+        assert [item.result for item in second] == [item.result for item in first]
+
+    def test_stream_shares_the_cache_with_run(self, tmp_path):
+        executor = SweepExecutor(workers=1, cache_dir=tmp_path)
+        cells = _cells(2)
+        executor.run(cells)
+        streamed = list(executor.run_stream(cells, max_cells=2))
+        assert executor.cache_hits == 2
+        assert all(item.cached for item in streamed)
+
+
+class TestPoolEquivalence:
+    def test_pool_results_match_serial_in_order(self, tmp_path):
+        cells = _cells(6)
+        serial = list(SweepExecutor(workers=1).run_stream(cells))
+        pooled = list(SweepExecutor(workers=2).run_stream(iter(cells)))
+        assert [item.index for item in pooled] == [item.index for item in serial]
+        assert [item.spec for item in pooled] == [item.spec for item in serial]
+        assert [item.result for item in pooled] == [
+            item.result for item in serial
+        ]
+
+    def test_pool_max_cells_budget(self):
+        executor = SweepExecutor(workers=2)
+        streamed = list(executor.run_stream(_infinite_cells(), max_cells=5))
+        assert [item.index for item in streamed] == [0, 1, 2, 3, 4]
+
+    def test_pool_drains_in_flight_cells_after_time_expiry(self):
+        executor = SweepExecutor(workers=2)
+        streamed = list(
+            executor.run_stream(_infinite_cells(), time_budget_s=0.2)
+        )
+        # Dispatched cells are never discarded: the indices yielded are
+        # a gapless prefix of the consumed stream.
+        assert streamed
+        assert [item.index for item in streamed] == list(range(len(streamed)))

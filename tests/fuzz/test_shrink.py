@@ -1,0 +1,294 @@
+"""Shrinker unit tests: operator-level violation preservation, greedy
+minimization, determinism, and the idempotence property (shrinking a
+minimal spec returns it unchanged)."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenarios import (
+    AdversarySpec,
+    CrashWhen,
+    CutLinkWhen,
+    DelaySpec,
+    LinkDropWindow,
+    ObservationFilter,
+    ScenarioSpec,
+    TopologySpec,
+    TurnByzantineWhen,
+    WorkloadSpec,
+)
+from repro.scenarios.oracle import OracleViolation, check_result
+from repro.scenarios.reduce import (
+    REDUCTION_OPERATORS,
+    drop_adaptive_fault,
+    drop_adversary,
+    drop_static_fault,
+    fault_event_count,
+    reduce_f,
+    reduction_candidates,
+    shorten_workload,
+    shrink_payload,
+    shrink_topology,
+    simplify_delay,
+    spec_size,
+)
+from repro.fuzz.shrink import (
+    oracle_evaluator,
+    regression_stub,
+    shrink_failing_spec,
+)
+
+
+def _noisy_spec() -> ScenarioSpec:
+    """A deliberately over-specified scenario with every reducible axis."""
+    return ScenarioSpec(
+        name="noisy",
+        topology=TopologySpec(kind="complete", n=8),
+        delay=DelaySpec(kind="normal", mean_ms=10.0, std_ms=5.0, loss=0.1),
+        f=2,
+        payload_size=48,
+        seed=12,
+        adversaries=(AdversarySpec(behaviour="mute", count=1),),
+        faults=(LinkDropWindow(u=2, v=3, start_ms=0.0, end_ms=20.0),),
+        adaptive=(
+            CrashWhen(pid=0, after=ObservationFilter(kind="send"), count=3),
+            TurnByzantineWhen(pid=1, after=ObservationFilter(kind="deliver")),
+        ),
+        workload=WorkloadSpec.repeated(0, 3, 25.0),
+    )
+
+
+def _violation(invariant="no_forgery", detail="crafted"):
+    return (OracleViolation(invariant=invariant, detail=detail),)
+
+
+class TestOperators:
+    """Each operator emits strictly smaller specs of the expected shape,
+    and keeps a violation alive when its own axis is not the culprit."""
+
+    def test_drop_adaptive_fault_removes_one_trigger_at_a_time(self):
+        spec = _noisy_spec()
+        candidates = list(drop_adaptive_fault(spec))
+        assert len(candidates) == 2
+        assert all(len(c.adaptive) == 1 for c in candidates)
+        assert {c.adaptive[0] for c in candidates} == set(spec.adaptive)
+
+    def test_drop_static_fault_removes_the_event(self):
+        spec = _noisy_spec()
+        (candidate,) = list(drop_static_fault(spec))
+        assert candidate.faults == ()
+
+    def test_drop_adversary_removes_and_lowers_counts(self):
+        spec = dataclasses.replace(
+            _noisy_spec(),
+            adversaries=(AdversarySpec(behaviour="drop", count=2),),
+            adaptive=(),
+        )
+        candidates = list(drop_adversary(spec))
+        assert [sum(a.count for a in c.adversaries) for c in candidates] == [0, 1]
+
+    def test_shorten_workload_collapses_halves_and_drops(self):
+        spec = _noisy_spec()
+        candidates = list(shorten_workload(spec))
+        # Collapse to legacy single broadcast first.
+        assert candidates[0].workload is None
+        # Then halving, then dropping each broadcast.
+        lengths = [
+            len(c.workload.broadcasts) for c in candidates[1:] if c.workload is not None
+        ]
+        assert lengths and all(length < 3 for length in lengths)
+
+    def test_shrink_topology_never_grows_and_respects_the_bound(self):
+        spec = _noisy_spec()
+        for candidate in shrink_topology(spec):
+            assert candidate.topology.node_count < spec.topology.node_count
+            # Complete graph: n >= 2f + 2 keeps the 2f+1 connectivity bound.
+            assert candidate.topology.node_count >= 2 * spec.f + 2
+
+    def test_shrink_topology_keeps_referenced_pids_valid(self):
+        spec = dataclasses.replace(
+            _noisy_spec(),
+            adaptive=(
+                CutLinkWhen(u=5, v=6, after=ObservationFilter(kind="send")),
+            ),
+        )
+        for candidate in shrink_topology(spec):
+            assert candidate.topology.node_count > 6
+
+    def test_reduce_f_respects_the_budget(self):
+        spec = _noisy_spec()  # f=2, 1 static + 1 converted = 2 requested
+        assert list(reduce_f(spec)) == []
+        relaxed = dataclasses.replace(spec, adversaries=())
+        (candidate,) = list(reduce_f(relaxed))
+        assert candidate.f == 1
+
+    def test_simplify_delay_strips_loss_then_kind(self):
+        spec = _noisy_spec()
+        candidates = list(simplify_delay(spec))
+        assert candidates[0].delay.loss == 0.0
+        assert candidates[-1].delay.kind == "fixed"
+
+    def test_shrink_payload(self):
+        spec = _noisy_spec()
+        sizes = [c.payload_size for c in shrink_payload(spec)]
+        assert sizes == [0, 16]
+
+    def test_every_candidate_strictly_decreases_spec_size(self):
+        spec = _noisy_spec()
+        for name, candidate in reduction_candidates(spec):
+            assert spec_size(candidate) < spec_size(spec), name
+
+    def test_operator_order_is_fault_machinery_first(self):
+        names = [name for name, _ in REDUCTION_OPERATORS]
+        assert names[:3] == [
+            "drop_adaptive_fault",
+            "drop_static_fault",
+            "drop_adversary",
+        ]
+
+
+class TestShrinkFailingSpec:
+    def test_refuses_a_green_spec(self):
+        spec = ScenarioSpec(topology=TopologySpec(kind="complete", n=4), seed=1)
+        with pytest.raises(ValueError, match="does not violate"):
+            shrink_failing_spec(spec, lambda s: ())
+
+    def test_shrinks_to_the_predicate_kernel(self):
+        # The "bug" only needs lossy links: everything else must go.
+        spec = _noisy_spec()
+
+        def evaluate(candidate):
+            return _violation() if candidate.is_lossy else ()
+
+        outcome = shrink_failing_spec(spec, evaluate)
+        assert outcome.at_fixpoint
+        assert outcome.minimal.is_lossy
+        assert fault_event_count(outcome.minimal) == 0
+        assert outcome.minimal.workload is None
+        assert outcome.minimal.payload_size == 0
+        assert outcome.minimal.f == 0
+        assert (
+            outcome.minimal.topology.node_count < spec.topology.node_count
+        )
+
+    def test_preserves_the_violating_invariant_set(self):
+        spec = _noisy_spec()
+
+        def evaluate(candidate):
+            if not candidate.adaptive:
+                return ()
+            return _violation("agreement", "needs a trigger")
+
+        outcome = shrink_failing_spec(spec, evaluate)
+        assert len(outcome.minimal.adaptive) == 1
+        assert {v.invariant for v in outcome.violations} == {"agreement"}
+
+    def test_rejects_candidates_whose_evaluation_raises(self):
+        spec = _noisy_spec()
+        baseline_hash = spec.scenario_hash()
+
+        def evaluate(candidate):
+            if candidate.scenario_hash() == baseline_hash:
+                return _violation()
+            raise RuntimeError("every reduction explodes")
+
+        outcome = shrink_failing_spec(spec, evaluate)
+        assert outcome.minimal == spec
+        assert outcome.steps == ()
+        assert outcome.at_fixpoint
+
+    def test_shrink_is_deterministic(self):
+        spec = _noisy_spec()
+
+        def evaluate(candidate):
+            return _violation() if candidate.is_lossy else ()
+
+        first = shrink_failing_spec(spec, evaluate)
+        second = shrink_failing_spec(spec, evaluate)
+        assert first.minimal == second.minimal
+        assert first.steps == second.steps
+
+    def test_attempt_ceiling_truncates_but_stays_valid(self):
+        spec = _noisy_spec()
+
+        def evaluate(candidate):
+            return _violation() if candidate.is_lossy else ()
+
+        outcome = shrink_failing_spec(spec, evaluate, max_attempts=3)
+        assert not outcome.at_fixpoint
+        assert outcome.attempts <= 3
+        assert evaluate(outcome.minimal)
+
+
+class TestIdempotence:
+    """Shrinking a minimal spec returns it unchanged."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=4, max_value=9),
+        f=st.integers(min_value=0, max_value=2),
+        loss=st.sampled_from([0.0, 0.05, 0.2]),
+        adaptive_count=st.integers(min_value=0, max_value=2),
+        payload=st.sampled_from([0, 16, 48]),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_shrink_is_idempotent(self, n, f, loss, adaptive_count, payload, seed):
+        n = max(n, 2 * f + 2, adaptive_count + 1)
+        adaptive = tuple(
+            CrashWhen(pid=pid, after=ObservationFilter(kind="send"), count=2)
+            for pid in range(adaptive_count)
+        )
+        spec = ScenarioSpec(
+            name="idem",
+            topology=TopologySpec(kind="complete", n=n),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0, loss=loss),
+            f=f,
+            payload_size=payload,
+            seed=seed,
+            adaptive=adaptive,
+        )
+
+        # An arbitrary-but-deterministic interestingness predicate that
+        # some reduction path can always reach.
+        def evaluate(candidate):
+            return _violation() if candidate.seed == seed else ()
+
+        first = shrink_failing_spec(spec, evaluate)
+        again = shrink_failing_spec(first.minimal, evaluate)
+        assert again.minimal == first.minimal
+        assert again.steps == ()
+        assert again.at_fixpoint
+
+
+class TestRegressionStub:
+    def test_stub_embeds_a_loadable_spec_and_runs_green_when_fixed(self):
+        # A spec with no real violation: the emitted stub must execute
+        # and pass as-is (the post-fix state it is written for).
+        spec = ScenarioSpec(
+            name="stub", topology=TopologySpec(kind="complete", n=4), seed=2
+        )
+        stub = regression_stub(spec, _violation())
+        short = spec.scenario_hash()[:12]
+        assert f"SPEC_JSON_{short}" in stub
+        assert f"test_regression_{short}" in stub
+        namespace: dict = {}
+        exec(stub, namespace)
+        namespace[f"test_regression_{short}"]()  # must not raise
+
+    def test_default_oracle_evaluator_memoizes_and_matches_check_result(self):
+        spec = ScenarioSpec(
+            name="memo", topology=TopologySpec(kind="complete", n=4), seed=3
+        )
+        calls = []
+
+        def counting_check(result):
+            calls.append(result.spec.scenario_hash())
+            return check_result(result)
+
+        evaluate = oracle_evaluator(counting_check)
+        assert evaluate(spec) == ()
+        assert evaluate(spec) == ()
+        assert len(calls) == 1
