@@ -19,7 +19,9 @@ ready-to-paste regression test stub.
 
 from repro.fuzz.corpus import (
     CATEGORIES,
+    DEFAULT_TRANSIENT_CAP,
     RECORD_SCHEMA_VERSION,
+    TRANSIENT_CATEGORIES,
     Corpus,
     CorpusRecord,
     validate_record_data,
@@ -29,6 +31,7 @@ from repro.fuzz.sample import stream_fuzz_specs
 from repro.fuzz.shrink import (
     ShrinkResult,
     ShrinkStep,
+    conformance_evaluator,
     oracle_evaluator,
     regression_stub,
     shrink_failing_spec,
@@ -36,6 +39,8 @@ from repro.fuzz.shrink import (
 
 __all__ = [
     "CATEGORIES",
+    "TRANSIENT_CATEGORIES",
+    "DEFAULT_TRANSIENT_CAP",
     "RECORD_SCHEMA_VERSION",
     "Corpus",
     "CorpusRecord",
@@ -46,6 +51,7 @@ __all__ = [
     "ShrinkResult",
     "ShrinkStep",
     "oracle_evaluator",
+    "conformance_evaluator",
     "regression_stub",
     "shrink_failing_spec",
 ]

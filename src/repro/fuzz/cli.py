@@ -23,7 +23,7 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.fuzz.corpus import Corpus
+from repro.fuzz.corpus import DEFAULT_TRANSIENT_CAP, Corpus
 from repro.fuzz.farm import FuzzFarm
 from repro.scenarios.oracle import check_result
 from repro.scenarios.spec import BACKEND_NAMES
@@ -95,6 +95,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.25,
         help="fraction of cells decorated with multi-broadcast workloads",
+    )
+    parser.add_argument(
+        "--rco-fraction",
+        type=float,
+        default=0.15,
+        help=(
+            "fraction of cells restacked onto the causal-order wrapper "
+            "(rco_cross_layer)"
+        ),
+    )
+    parser.add_argument(
+        "--transient-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "age out all but N records per transient corpus category "
+            "(near_f_bound, latency_outlier) after the run; violation "
+            "records are kept forever (default: 64, 0 keeps none, "
+            "negative disables pruning)"
+        ),
     )
     parser.add_argument(
         "--validate-corpus",
@@ -179,6 +200,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.time_budget is None and args.max_cells is None:
         parser.error("a fuzz run needs --time-budget and/or --max-cells")
     backends = tuple(args.backend) if args.backend else ("simulation",)
+    if args.transient_cap is None:
+        transient_cap = DEFAULT_TRANSIENT_CAP
+    elif args.transient_cap < 0:
+        transient_cap = None
+    else:
+        transient_cap = args.transient_cap
     farm = FuzzFarm(
         args.corpus_dir,
         cache_dir=args.cache_dir,
@@ -188,6 +215,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         conformance_backends=("simulation", "asyncio") if args.conformance else (),
         shrink=not args.no_shrink,
         workload_fraction=args.workload_fraction,
+        rco_fraction=args.rco_fraction,
+        transient_cap=transient_cap,
     )
     report = farm.run(time_budget_s=args.time_budget, max_cells=args.max_cells)
     for line in report.summary_lines():

@@ -56,6 +56,18 @@ CATEGORIES = (
     "latency_outlier",
 )
 
+#: Categories :meth:`Corpus.prune` may age out.  Oracle violations and
+#: conformance divergences are *bugs* and are kept forever; the survivor
+#: tiers below are telemetry whose unbounded growth would make the
+#: ``actions/cache`` manifest-hash key churn on every nightly run.
+TRANSIENT_CATEGORIES = (
+    "near_f_bound",
+    "latency_outlier",
+)
+
+#: Default per-category cap applied by the fuzz farm after each run.
+DEFAULT_TRANSIENT_CAP = 64
+
 _MANIFEST_NAME = "manifest.json"
 
 _TMP_COUNTER = itertools.count()
@@ -260,6 +272,51 @@ class Corpus:
         """Re-run a stored spec by hash (determinism makes this exact)."""
         return run_scenario(self.load(scenario_hash).spec)
 
+    # -- retention ------------------------------------------------------
+    def prune(
+        self,
+        *,
+        max_per_category: int = DEFAULT_TRANSIENT_CAP,
+        categories: Tuple[str, ...] = TRANSIENT_CATEGORIES,
+    ) -> Tuple[str, ...]:
+        """Bound the transient tiers; returns the removed hashes, sorted.
+
+        For each category in ``categories`` the first
+        ``max_per_category`` records *in sorted-hash order* are kept and
+        the rest deleted — records carry no timestamp on purpose (the
+        corpus is deterministic), so sorted-hash order is the only
+        retention order every farm process agrees on, which keeps
+        same-seed farm runs writing byte-identical corpora.  Categories
+        outside ``categories`` (oracle violations, conformance
+        divergences) are never touched.
+        """
+        if max_per_category < 0:
+            raise ValueError(
+                f"max_per_category must be non-negative, got {max_per_category}"
+            )
+        kept_per_category: Dict[str, int] = {}
+        removed: List[str] = []
+        for scenario_hash in self.hashes():
+            try:
+                data = json.loads(
+                    self.path_for(scenario_hash).read_text(encoding="utf-8")
+                )
+                category = data.get("category")
+            except (OSError, json.JSONDecodeError):
+                continue  # leave anything unreadable for validate()
+            if category not in categories:
+                continue
+            kept = kept_per_category.get(category, 0)
+            if kept < max_per_category:
+                kept_per_category[category] = kept + 1
+                continue
+            try:
+                os.unlink(self.path_for(scenario_hash))
+            except OSError:
+                continue
+            removed.append(scenario_hash)
+        return tuple(removed)
+
     # -- manifest -------------------------------------------------------
     def manifest(self) -> Dict[str, object]:
         """Summary document: every record's hash and category, sorted."""
@@ -319,6 +376,8 @@ class Corpus:
 __all__ = [
     "RECORD_SCHEMA_VERSION",
     "CATEGORIES",
+    "TRANSIENT_CATEGORIES",
+    "DEFAULT_TRANSIENT_CAP",
     "CorpusRecord",
     "Corpus",
     "validate_record_data",

@@ -9,8 +9,15 @@ cell budget, judges every result, and persists the interesting ones to a
 * **oracle violations** are shrunk on the spot
   (:mod:`repro.fuzz.shrink`) and recorded with their minimal reproducer
   and a regression test stub;
-* **near-f-bound survivors**, **latency outliers** and (optionally)
-  **cross-backend conformance divergences** are recorded as-is.
+* (optionally) **cross-backend conformance divergences** are shrunk
+  with the conformance evaluator — a candidate survives only while the
+  backends still disagree — and recorded with their minimal reproducer;
+* **near-f-bound survivors** and **latency outliers** are recorded
+  as-is, and their corpus tiers are bounded: after every run the farm
+  ages out all but the first ``transient_cap`` records per transient
+  category (sorted-hash order, the only order every process agrees on),
+  so the CI manifest-hash cache key stays bounded while violation
+  records are kept forever.
 
 Dedupe is layered: the shared scenario-hash
 :class:`~repro.runner.cache.ResultCache` keeps re-fuzzed cells from
@@ -39,10 +46,11 @@ from repro.runner.parallel import SweepExecutor
 from repro.scenarios.conformance import safety_verdict_of
 from repro.scenarios.engine import ScenarioResult, run_scenario
 from repro.scenarios.oracle import OracleViolation, check_result
-from repro.fuzz.corpus import Corpus, CorpusRecord
+from repro.fuzz.corpus import DEFAULT_TRANSIENT_CAP, Corpus, CorpusRecord
 from repro.fuzz.sample import stream_fuzz_specs
 from repro.fuzz.shrink import (
     ShrinkResult,
+    conformance_evaluator,
     oracle_evaluator,
     regression_stub,
     shrink_failing_spec,
@@ -71,6 +79,9 @@ class FuzzReport:
     #: Shrink statistics of this run's violations.
     shrink_steps: int = 0
     shrink_attempts: int = 0
+    #: Transient records (near_f_bound / latency_outlier) aged out of
+    #: the corpus at the end of this run.
+    pruned_records: int = 0
     manifest_hash: str = ""
 
     @property
@@ -105,6 +116,8 @@ class FuzzReport:
                 f"shrinker: {self.shrink_steps} accepted steps / "
                 f"{self.shrink_attempts} attempts"
             )
+        if self.pruned_records:
+            lines.append(f"pruned transient records: {self.pruned_records}")
         lines.append(f"corpus manifest hash: {self.manifest_hash}")
         return lines
 
@@ -139,7 +152,16 @@ class FuzzFarm:
         free cell is re-run on the *other* backend and diverging safety
         verdicts are recorded — expensive, meant for the nightly lane.
     shrink:
-        Whether to delta-debug violations down to minimal reproducers.
+        Whether to delta-debug violations down to minimal reproducers
+        (oracle violations via the farm's result checker, conformance
+        divergences via the cross-backend evaluator).
+    rco_fraction:
+        Fraction of cells restacked onto the causal-order wrapper.
+    transient_cap:
+        Per-category retention cap applied to the transient corpus
+        tiers (near-f-bound, latency outliers) after each run, so the
+        CI manifest-hash cache key stops growing without bound;
+        ``None`` disables pruning.  Violation records are kept forever.
     latency_outlier_factor / latency_warmup:
         A delivered cell whose latency exceeds ``factor ×`` the stream's
         running mean (after ``warmup`` delivered cells) is recorded as a
@@ -161,6 +183,8 @@ class FuzzFarm:
         shrink_max_attempts: int = 500,
         batch_size: int = DEFAULT_BATCH_SIZE,
         workload_fraction: float = 0.25,
+        rco_fraction: float = 0.15,
+        transient_cap: Optional[int] = DEFAULT_TRANSIENT_CAP,
         latency_outlier_factor: float = 4.0,
         latency_warmup: int = 24,
     ) -> None:
@@ -176,6 +200,8 @@ class FuzzFarm:
         self.shrink_max_attempts = shrink_max_attempts
         self.batch_size = batch_size
         self.workload_fraction = workload_fraction
+        self.rco_fraction = rco_fraction
+        self.transient_cap = transient_cap
         self.latency_outlier_factor = latency_outlier_factor
         self.latency_warmup = latency_warmup
         # Running latency statistics (across one run() call).
@@ -208,6 +234,7 @@ class FuzzFarm:
             seed=self.seed,
             backends=self.backends,
             workload_fraction=self.workload_fraction,
+            rco_fraction=self.rco_fraction,
         )
         if hasattr(self.executor, "run_stream"):
             for item in self.executor.run_stream(
@@ -225,6 +252,10 @@ class FuzzFarm:
                 max_cells=max_cells,
             )
         report.elapsed_s = time.monotonic() - started
+        if self.transient_cap is not None:
+            report.pruned_records = len(
+                self.corpus.prune(max_per_category=self.transient_cap)
+            )
         self.corpus.write_manifest()
         report.manifest_hash = self.corpus.manifest_hash()
         return report
@@ -348,6 +379,7 @@ class FuzzFarm:
         for backend in others:
             mirrored = run_scenario(spec.with_backend(backend))
             if safety_verdict_of(mirrored) != safety_verdict_of(result):
+                shrunk = self._shrink_divergence(spec, backend, report)
                 self._record(
                     report,
                     CorpusRecord(
@@ -357,9 +389,40 @@ class FuzzFarm:
                             **self._stats(result),
                             "diverging_backend": backend,
                         },
+                        shrunk_spec=None if shrunk is None else shrunk.minimal,
+                        shrunk_violations=()
+                        if shrunk is None
+                        else tuple(
+                            (v.invariant, v.detail) for v in shrunk.violations
+                        ),
                         discovery=self._discovery(spec),
                     ),
                 )
+
+    def _shrink_divergence(
+        self, spec: ScenarioSpec, backend: str, report: FuzzReport
+    ) -> Optional[ShrinkResult]:
+        """Delta-debug a diverging spec with the conformance evaluator.
+
+        A wall-clock-sensitive divergence may not reproduce when the
+        evaluator re-runs the original spec (the baseline raises
+        ``ValueError``); the raw offender is then recorded unshrunk —
+        still replayable, just not minimized.
+        """
+        if not self.shrink_enabled:
+            return None
+        evaluate = conformance_evaluator(
+            (spec.backend, backend), mode="safety"
+        )
+        try:
+            shrunk = shrink_failing_spec(
+                spec, evaluate, max_attempts=self.shrink_max_attempts
+            )
+        except ValueError:
+            return None
+        report.shrink_steps += len(shrunk.steps)
+        report.shrink_attempts += shrunk.attempts
+        return shrunk
 
     # ------------------------------------------------------------------
     # Record helpers

@@ -15,6 +15,7 @@ follows — replayable from its seed.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Iterator, Sequence
 
 from repro.scenarios.oracle import sample_lossy_adaptive_specs
@@ -41,6 +42,23 @@ def _with_random_workload(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpe
     return spec.with_workload(workload)
 
 
+def _as_rco_cell(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpec:
+    """Restack ``spec`` onto the causal-order wrapper (seed-driven).
+
+    The protocol swap alone already fuzzes the pending-set machinery
+    under the cell's loss/adaptive axes; half of the undecorated cells
+    additionally get a causally-chained workload so cross-source
+    dependency ordering is exercised, not just same-source FIFO.
+    """
+    spec = replace(spec, protocol="rco_cross_layer")
+    n = spec.topology.node_count
+    if spec.workload is None and n >= 2 and rng.random() < 0.5:
+        chain = (0, rng.randint(1, n - 1), 0)
+        interval = rng.choice((25.0, 40.0))
+        spec = spec.with_workload(WorkloadSpec.causal_chain(chain, interval))
+    return spec
+
+
 def stream_fuzz_specs(
     *,
     seed: int = 0,
@@ -48,13 +66,17 @@ def stream_fuzz_specs(
     name: str = "fuzz",
     batch_size: int = BATCH_SIZE,
     workload_fraction: float = 0.25,
+    rco_fraction: float = 0.15,
 ) -> Iterator[ScenarioSpec]:
     """Yield an endless, deterministic stream of fuzz cells.
 
     ``backends`` spreads the stream over execution backends (each cell
     is assigned one); ``workload_fraction`` of the cells carry a
     randomized multi-broadcast workload on top of the lossy/adaptive
-    axes.  The caller bounds consumption — typically via
+    axes; ``rco_fraction`` of the cells are restacked onto the
+    causal-order wrapper (``rco_cross_layer``), so the pending-set
+    delivery rule is fuzzed under the same loss/adaptive adversaries as
+    the bare protocol.  The caller bounds consumption — typically via
     :meth:`~repro.runner.parallel.SweepExecutor.run_stream` budgets.
     """
     backends = tuple(backends)
@@ -74,6 +96,8 @@ def stream_fuzz_specs(
                 spec = spec.with_backend(backend)
             if rng.random() < workload_fraction:
                 spec = _with_random_workload(spec, rng)
+            if rng.random() < rco_fraction:
+                spec = _as_rco_cell(spec, rng)
             yield spec
         round_index += 1
 

@@ -24,6 +24,7 @@ import textwrap
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Sequence, Tuple
 
+from repro.scenarios.conformance import run_conformance
 from repro.scenarios.engine import ScenarioResult, run_scenario
 from repro.scenarios.jsonio import dumps_spec_json
 from repro.scenarios.oracle import OracleViolation, check_result
@@ -57,6 +58,42 @@ def oracle_evaluator(
         key = spec.scenario_hash()
         if key not in memo:
             memo[key] = tuple(check(run_scenario(spec)))
+        return memo[key]
+
+    return evaluate
+
+
+def conformance_evaluator(
+    backends: Sequence[str] = ("simulation", "asyncio"),
+    *,
+    mode: str = "auto",
+    overrides: Optional[Dict[str, object]] = None,
+    run: Optional[Callable[..., object]] = None,
+) -> SpecEvaluator:
+    """An evaluator that treats a cross-backend divergence as the bug.
+
+    Runs each candidate on every backend via
+    :func:`~repro.scenarios.conformance.run_conformance` and maps each
+    verdict mismatch to an ``OracleViolation`` with invariant
+    ``"conformance"`` — so :func:`shrink_failing_spec` minimizes
+    divergence specs with the exact machinery it uses for single-backend
+    oracle violations (a candidate is kept only while the backends still
+    disagree).  ``run`` replaces the conformance runner (tests inject
+    deterministic fakes; the real one re-executes on live sockets).
+    Memoized by scenario hash like :func:`oracle_evaluator`.
+    """
+    runner = run_conformance if run is None else run
+    backends = tuple(backends)
+    memo: Dict[str, Tuple[OracleViolation, ...]] = {}
+
+    def evaluate(spec: ScenarioSpec) -> Tuple[OracleViolation, ...]:
+        key = spec.scenario_hash()
+        if key not in memo:
+            report = runner(spec, backends, overrides=overrides, mode=mode)
+            memo[key] = tuple(
+                OracleViolation(invariant="conformance", detail=mismatch)
+                for mismatch in report.mismatches()
+            )
         return memo[key]
 
     return evaluate
@@ -218,6 +255,7 @@ __all__ = [
     "DEFAULT_MAX_ATTEMPTS",
     "SpecEvaluator",
     "oracle_evaluator",
+    "conformance_evaluator",
     "ShrinkStep",
     "ShrinkResult",
     "shrink_failing_spec",

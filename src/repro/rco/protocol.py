@@ -1,0 +1,205 @@
+"""Vector-clock causally-ordered broadcast stacked on any BRB protocol.
+
+:class:`CausalOrderBroadcast` wraps an inner Byzantine reliable
+broadcast instance through the sans-io protocol interface: application
+payloads are enveloped with the sender's vector clock before the inner
+``broadcast``, and the inner layer's ``BRBDeliver`` commands are
+intercepted into a pending set that releases deliveries only when their
+causal dependencies are satisfied — the classic pending-set delivery
+rule of causally-ordered reliable broadcast (RCO):
+
+* the sender stamps message ``m`` with clock ``W`` where ``W[self]`` is
+  the number of messages it *sent* before ``m`` (not delivered — a
+  source may broadcast twice before BRB-delivering its own first
+  message) and ``W[k]`` is the number of messages it RCO-delivered from
+  ``k``;
+* a process holding delivery vector ``V`` delivers ``m`` from ``j``
+  exactly when ``W[j] == V[j]`` and ``W[k] <= V[k]`` for every
+  ``k != j``, then increments ``V[j]`` and re-scans the pending set.
+
+Because the inner layer is a *reliable* broadcast, every correct process
+sees the same envelope for a given ``(source, bid)`` (BRB-Agreement), so
+all correct processes take identical pending-set decisions.  A malformed
+envelope — a Byzantine source bypassing the wrapper — is discarded
+deterministically by every correct process, which preserves agreement
+and validity vacuously (BRB never promises totality for Byzantine
+sources).
+
+The wrapper subclasses :class:`~repro.core.protocol.BroadcastProtocol`,
+so the hosting runtimes, the metrics layer and the adversary machinery
+treat it exactly like any other protocol; the ``BRBDeliver`` commands it
+emits carry the decoded *application* payload, never the envelope bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.config import SystemConfig
+from repro.core.errors import ConfigurationError
+from repro.core.events import BRBDeliver, Command
+from repro.core.protocol import BroadcastProtocol
+
+#: RCO protocol names → the inner BRB protocol family they stack on.
+#: The keys are valid :class:`~repro.scenarios.spec.ScenarioSpec`
+#: ``protocol`` values (a grid axis); the values are what
+#: :func:`~repro.runner.configs.protocol_factory` builds underneath.
+RCO_PROTOCOLS = {
+    "rco_cross_layer": "cross_layer",
+    "rco_bracha_dolev": "bracha_dolev",
+    "rco_bracha": "bracha",
+}
+
+#: Envelope magic: version-tagged so a future clock encoding can coexist
+#: with stored corpus payload expectations.
+_MAGIC = b"RCO1"
+
+_LEN = struct.Struct(">I")
+
+
+def encode_rco_envelope(clock: Sequence[int], payload: bytes) -> bytes:
+    """Pack ``payload`` behind the sender's vector ``clock``."""
+    n = len(clock)
+    return _MAGIC + _LEN.pack(n) + struct.pack(f">{n}I", *clock) + payload
+
+
+def decode_rco_envelope(
+    data: bytes, n: int
+) -> Optional[Tuple[Tuple[int, ...], bytes]]:
+    """Unpack an envelope into ``(clock, payload)``.
+
+    Returns ``None`` for anything malformed — wrong magic, truncated
+    clock, or a clock whose length is not the system size ``n`` — so a
+    Byzantine payload that bypassed the wrapper is rejected identically
+    by every correct process.
+    """
+    header = len(_MAGIC) + _LEN.size
+    if len(data) < header or not data.startswith(_MAGIC):
+        return None
+    (length,) = _LEN.unpack_from(data, len(_MAGIC))
+    if length != n or len(data) < header + n * 4:
+        return None
+    clock = struct.unpack_from(f">{n}I", data, header)
+    return clock, data[header + n * 4 :]
+
+
+class CausalOrderBroadcast(BroadcastProtocol):
+    """Causal-order wrapper around one inner BRB protocol instance.
+
+    Parameters
+    ----------
+    inner:
+        The wrapped BRB instance for the *same* process — anything
+        implementing the sans-io protocol interface.  The wrapper
+        forwards ``on_start``/``broadcast``/``on_message`` to it and
+        filters the returned commands: ``SendTo`` passes through
+        untouched, inner ``BRBDeliver`` feeds the pending set.
+    """
+
+    __slots__ = ("inner", "clock", "pending", "_sent")
+
+    def __init__(
+        self,
+        process_id: int,
+        config: SystemConfig,
+        neighbors: Sequence[int],
+        *,
+        inner: BroadcastProtocol,
+    ) -> None:
+        super().__init__(process_id, config, neighbors)
+        if config.processes != tuple(range(config.n)):
+            # The vector clock indexes by process id.
+            raise ConfigurationError(
+                "CausalOrderBroadcast needs dense process ids 0..n-1, "
+                f"got {config.processes}"
+            )
+        if getattr(inner, "process_id", process_id) != process_id:
+            raise ConfigurationError(
+                f"inner protocol belongs to process {inner.process_id}, "
+                f"not {process_id}"
+            )
+        self.inner = inner
+        #: ``clock[k]`` — messages RCO-delivered from process ``k``.
+        self.clock: List[int] = [0] * config.n
+        #: Undeliverable decoded envelopes: key → (clock, app payload).
+        self.pending: dict = {}
+        self._sent = 0
+
+    # ------------------------------------------------------------------
+    # Protocol entry points (forward to the inner layer, filter output)
+    # ------------------------------------------------------------------
+    def on_start(self) -> List[Command]:
+        return self._filter(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        stamp = list(self.clock)
+        stamp[self.process_id] = self._sent
+        self._sent += 1
+        envelope = encode_rco_envelope(stamp, payload)
+        return self._filter(self.inner.broadcast(envelope, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._filter(self.inner.on_message(sender, message))
+
+    # ------------------------------------------------------------------
+    # Pending-set delivery rule
+    # ------------------------------------------------------------------
+    def _deliverable(self, source: int, stamp: Sequence[int]) -> bool:
+        if stamp[source] != self.clock[source]:
+            return False
+        return all(
+            stamp[k] <= self.clock[k]
+            for k in range(len(stamp))
+            if k != source
+        )
+
+    def _filter(self, commands: List[Command]) -> List[Command]:
+        out: List[Command] = []
+        for command in commands:
+            if not isinstance(command, BRBDeliver):
+                out.append(command)
+                continue
+            decoded = decode_rco_envelope(command.payload, self.config.n)
+            if decoded is None:
+                # Not a wrapper envelope: the source bypassed RCO.
+                # BRB-Agreement makes every correct process discard the
+                # same bytes, so dropping it here is itself agreed upon.
+                continue
+            stamp, payload = decoded
+            key = (command.source, command.bid)
+            if key not in self.delivered and key not in self.pending:
+                self.pending[key] = (stamp, payload)
+        out.extend(self._drain())
+        return out
+
+    def _drain(self) -> List[Command]:
+        """Release every pending message whose dependencies are met.
+
+        Ties between independently deliverable messages break on the
+        ``(source, bid)`` key, so the drain order — and therefore the
+        recorded delivery order — is identical on every backend.
+        """
+        released: List[Command] = []
+        progressed = True
+        while progressed:
+            progressed = False
+            for key in sorted(self.pending):
+                stamp, payload = self.pending[key]
+                if self._deliverable(key[0], stamp):
+                    del self.pending[key]
+                    self.clock[key[0]] += 1
+                    released.append(
+                        self._record_delivery(key[0], key[1], payload)
+                    )
+                    progressed = True
+                    break
+        return released
+
+
+__all__ = [
+    "RCO_PROTOCOLS",
+    "encode_rco_envelope",
+    "decode_rco_envelope",
+    "CausalOrderBroadcast",
+]

@@ -28,6 +28,7 @@ from repro.brb.bracha import BrachaBroadcast
 from repro.brb.bracha_dolev import BrachaDolevBroadcast
 from repro.brb.dolev import DolevBroadcast
 from repro.brb.optimized import CrossLayerBrachaDolev
+from repro.rco.protocol import RCO_PROTOCOLS, CausalOrderBroadcast
 
 ProtocolBuilder = Callable[[int, SystemConfig, Iterable[int]], object]
 
@@ -79,7 +80,13 @@ PROTOCOL_CONFIGURATIONS.update(
 
 
 def protocol_family(protocol: str) -> str:
-    """Message-format family of a protocol name (for crafted adversary traffic)."""
+    """Message-format family of a protocol name (for crafted adversary traffic).
+
+    An RCO wrapper speaks its inner BRB protocol's wire format — the
+    vector clock travels inside the payload — so crafted adversary
+    traffic against ``rco_*`` protocols uses the inner family.
+    """
+    protocol = RCO_PROTOCOLS.get(protocol, protocol)
     if protocol == "bracha":
         return "bracha"
     if protocol in ("bracha_dolev", "dolev"):
@@ -94,12 +101,19 @@ def protocol_factory(protocol: str, mods: ModificationSet = None) -> ProtocolBui
     ----------
     protocol:
         ``"cross_layer"`` (the paper's protocol), ``"bracha_dolev"`` (the
-        layered combination), ``"bracha"`` (fully connected baseline) or
-        ``"dolev"`` (reliable communication only).
+        layered combination), ``"bracha"`` (fully connected baseline),
+        ``"dolev"`` (reliable communication only), or any of
+        :data:`~repro.rco.protocol.RCO_PROTOCOLS` — the causal-order
+        wrapper stacked on the named inner BRB protocol.
     mods:
         Modification toggles for the partially-connected protocols.
     """
     mods = mods if mods is not None else ModificationSet.dolev_optimized()
+    if protocol in RCO_PROTOCOLS:
+        inner_builder = protocol_factory(RCO_PROTOCOLS[protocol], mods)
+        return lambda pid, config, neighbors: CausalOrderBroadcast(
+            pid, config, neighbors, inner=inner_builder(pid, config, neighbors)
+        )
     if protocol == "cross_layer":
         return _cross_layer_builder(mods)
     if protocol == "bracha_dolev":

@@ -79,6 +79,7 @@ from repro.scenarios.grid import expand_grid, seed_cells
 from repro.scenarios.oracle import (
     OracleViolation,
     assert_safe,
+    check_causal_order,
     check_result,
     sample_lossy_adaptive_specs,
     totality_expected,
@@ -171,6 +172,7 @@ __all__ = [
     # safety oracle
     "OracleViolation",
     "check_result",
+    "check_causal_order",
     "assert_safe",
     "totality_expected",
     "sample_lossy_adaptive_specs",

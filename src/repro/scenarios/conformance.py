@@ -28,6 +28,7 @@ from dataclasses import dataclass, fields
 from typing import Dict, List, Sequence, Tuple
 
 from repro.core.errors import ConfigurationError
+from repro.rco.causal import causal_order_holds
 from repro.scenarios.engine import BroadcastOutcome, ScenarioResult, run_scenario
 from repro.scenarios.spec import ScenarioSpec
 
@@ -116,6 +117,10 @@ class SafetyVerdict:
     no_forged_deliveries: bool
     #: Per scheduled broadcast: (source, bid, agreement, validity).
     broadcast_safety: Tuple[Tuple[int, int, bool, bool], ...]
+    #: Causal delivery order (RCO protocols; vacuously true otherwise).
+    #: Loss-tolerant like the rest: the predicate only constrains
+    #: processes that actually delivered the causally-later broadcast.
+    causal_order_holds: bool = True
 
 
 def no_forged_deliveries(result: ScenarioResult) -> bool:
@@ -157,6 +162,7 @@ def safety_verdict_of(result: ScenarioResult) -> SafetyVerdict:
             )
             for outcome in result.outcomes
         ),
+        causal_order_holds=causal_order_holds(result),
     )
 
 

@@ -325,11 +325,12 @@ def validate_topology(spec: ScenarioSpec, topology: Topology) -> None:
                 f"adaptive fault CutLinkWhen targets missing link "
                 f"({fault.u}, {fault.v})"
             )
-    if spec.protocol == "bracha" and not topology.is_fully_connected():
+    if spec.protocol in ("bracha", "rco_bracha") and not topology.is_fully_connected():
         # Bracha's protocol assumes every pair of processes shares a
-        # channel; on a partial graph it silently never delivers.
+        # channel; on a partial graph it silently never delivers.  The
+        # RCO wrapper inherits the inner protocol's assumption.
         raise ConfigurationError(
-            "the 'bracha' protocol requires a complete topology; "
+            f"the {spec.protocol!r} protocol requires a complete topology; "
             f"got {topology.name}"
         )
 

@@ -32,11 +32,13 @@ import random
 from dataclasses import dataclass, replace
 from typing import List, Tuple
 
+from repro.rco.causal import causal_order_violations, is_rco_result
 from repro.scenarios.conformance import no_forged_deliveries
 from repro.scenarios.engine import ScenarioResult
 from repro.scenarios.faults import (
     CrashWhen,
     CutLinkWhen,
+    DelayedStart,
     ObservationFilter,
     TurnByzantineWhen,
 )
@@ -150,23 +152,50 @@ def totality_expected(spec: ScenarioSpec) -> bool:
     Totality is guaranteed only when nothing can keep a message from a
     correct process: reliable links (no lossy delay regime), no adaptive
     triggers (a fired trigger may crash or partition mid-run) and no
-    static fault events (a permanent link cut can disconnect the graph).
-    Connectivity (``>= 2f + 1``) is the spec author's obligation, as in
-    the property suite; the randomized oracle grids only emit compliant
-    topologies.
+    *delivery-breaking* static fault events — a crash silences a process
+    for good and a link-drop window loses messages, but a
+    :class:`~repro.scenarios.faults.DelayedStart` only postpones them: a
+    dormant node buffers everything that arrives early and replays it in
+    arrival order at wake-up, so every correct process still delivers.
+    The fault *types* decide, not mere presence.  Connectivity
+    (``>= 2f + 1``) is the spec author's obligation, as in the property
+    suite; the randomized oracle grids only emit compliant topologies.
     """
-    return not spec.is_lossy and not spec.is_adaptive and not spec.faults
+    return (
+        not spec.is_lossy
+        and not spec.is_adaptive
+        and all(isinstance(fault, DelayedStart) for fault in spec.faults)
+    )
+
+
+def check_causal_order(result: ScenarioResult) -> List[OracleViolation]:
+    """Correct processes delivered in causal order (RCO protocols only).
+
+    The predicate of :mod:`repro.rco.causal` is loss-tolerant — it only
+    constrains processes that actually delivered the causally-later
+    broadcast — so it is asserted unconditionally for RCO specs, lossy
+    and adaptive cells included.  Vacuously green off RCO.
+    """
+    if not is_rco_result(result):
+        return []
+    return [
+        OracleViolation(invariant="causal_order", detail=detail)
+        for detail in causal_order_violations(result)
+    ]
 
 
 def check_result(result: ScenarioResult) -> List[OracleViolation]:
     """Every violated invariant of one run (empty = the oracle is green).
 
     The safety invariants (no forgery, agreement, validity) are always
-    asserted; totality only where :func:`totality_expected` says delivery
-    is guaranteed.
+    asserted — plus causal order on RCO protocols; totality only where
+    :func:`totality_expected` says delivery is guaranteed.
     """
     violations = (
-        check_no_forgery(result) + check_agreement(result) + check_validity(result)
+        check_no_forgery(result)
+        + check_agreement(result)
+        + check_validity(result)
+        + check_causal_order(result)
     )
     if totality_expected(result.spec):
         violations += check_totality(result)
@@ -315,6 +344,7 @@ __all__ = [
     "check_agreement",
     "check_validity",
     "check_totality",
+    "check_causal_order",
     "check_result",
     "assert_safe",
     "totality_expected",

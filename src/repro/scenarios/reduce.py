@@ -15,6 +15,8 @@ survives — classic delta debugging, specialized to the scenario algebra:
   valid);
 * **shorten the workload** — drop broadcasts, or collapse the workload
   back to the legacy single broadcast;
+* **unstack the protocol** — reduce an RCO-wrapped protocol to its
+  inner BRB layer;
 * **simplify the delay model** — strip message loss, strip burst
   windows, collapse stochastic delay kinds to the fixed synchronous
   setting;
@@ -34,6 +36,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Callable, Iterator, List, Tuple
 
+from repro.rco.protocol import RCO_PROTOCOLS
 from repro.scenarios.faults import (
     CrashWhen,
     CutLinkWhen,
@@ -68,6 +71,16 @@ def _trigger_budget(spec: ScenarioSpec) -> int:
     return sum(fault.count for fault in spec.adaptive)
 
 
+def _protocol_complexity(spec: ScenarioSpec) -> int:
+    """1 for a stacked (RCO-wrapped) protocol, 0 for a bare one.
+
+    Gives :func:`simplify_protocol` a strictly decreasing size step
+    while leaving every non-RCO spec's size — and therefore every
+    existing shrink path — unchanged.
+    """
+    return int(spec.protocol in RCO_PROTOCOLS)
+
+
 def spec_size(spec: ScenarioSpec) -> int:
     """Scalar size measure every reduction operator strictly decreases.
 
@@ -83,6 +96,7 @@ def spec_size(spec: ScenarioSpec) -> int:
         + spec.f
         + _workload_length(spec)
         + _delay_complexity(spec)
+        + _protocol_complexity(spec)
         + spec.payload_size
     )
 
@@ -162,6 +176,8 @@ def _referenced_pids(spec: ScenarioSpec) -> List[int]:
     pids = [spec.source]
     for broadcast in spec.broadcasts():
         pids.append(broadcast.source)
+        if broadcast.successor is not None:
+            pids.append(broadcast.successor)
     for fault in spec.faults:
         for attr in ("pid", "u", "v"):
             value = getattr(fault, attr, None)
@@ -229,6 +245,20 @@ def reduce_f(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
         yield replace(spec, f=spec.f - 1)
 
 
+def simplify_protocol(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Unstack an RCO wrapper down to its inner BRB protocol.
+
+    A violation that survives without the causal-order layer was never
+    about causal order — the shrinker proves it by re-running on the
+    bare protocol.  (A ``causal_order`` violation cannot survive this
+    reduction — the predicate is vacuous off RCO — so such shrinks
+    reject the candidate via the invariant-preservation rule.)
+    """
+    inner = RCO_PROTOCOLS.get(spec.protocol)
+    if inner is not None:
+        yield replace(spec, protocol=inner)
+
+
 def simplify_delay(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
     """Strip loss, then burst windows, then collapse the kind to fixed."""
     delay = spec.delay
@@ -263,6 +293,7 @@ REDUCTION_OPERATORS: Tuple[Tuple[str, Callable[[ScenarioSpec], Iterator[Scenario
     ("shorten_workload", shorten_workload),
     ("shrink_topology", shrink_topology),
     ("reduce_f", reduce_f),
+    ("simplify_protocol", simplify_protocol),
     ("simplify_delay", simplify_delay),
     ("shrink_payload", shrink_payload),
 )
@@ -302,6 +333,7 @@ __all__ = [
     "shorten_workload",
     "shrink_topology",
     "reduce_f",
+    "simplify_protocol",
     "simplify_delay",
     "shrink_payload",
 ]

@@ -250,17 +250,31 @@ class BroadcastSpec:
     single-broadcast run uses, any other seed derives a distinct
     ``payload_size``-byte payload (see :meth:`ScenarioSpec.payload_for`),
     so repeated sensor readings can carry distinguishable content.
+
+    ``successor`` optionally names the process broadcasting *next* in a
+    causally-chained workload (see :meth:`WorkloadSpec.causal_chain`):
+    the chain is what the RCO protocols order, and the causal oracle
+    reads the realized dependencies off the delivery trace.  The
+    ``None`` default is suppressed from the scenario hash, so every
+    pre-RCO spec keeps its hash, golden summary and cache slot.
     """
 
     source: int = 0
     bid: int = 0
     payload_seed: int = 0
     start_time_ms: float = 0.0
+    successor: Optional[int] = None
+
+    _HASH_SUPPRESS_DEFAULTS = {"successor": None}
 
     def __post_init__(self) -> None:
         if self.start_time_ms < 0:
             raise ConfigurationError(
                 f"broadcast start time must be non-negative, got {self.start_time_ms}"
+            )
+        if self.successor is not None and self.successor < 0:
+            raise ConfigurationError(
+                f"successor must be a process id, got {self.successor}"
             )
 
     @property
@@ -373,6 +387,54 @@ class WorkloadSpec:
             )
         )
 
+    @classmethod
+    def causal_chain(
+        cls,
+        sources: Sequence[int],
+        interval_ms: float = 40.0,
+        *,
+        start_ms: float = 0.0,
+    ) -> "WorkloadSpec":
+        """A causally-chained workload: each broadcast names its successor.
+
+        Broadcast ``i`` comes from ``sources[i]`` (repeats allowed — a
+        process may appear several times in the chain, taking the next
+        free per-source identifier each time), starts at
+        ``start_ms + i * interval_ms`` and carries
+        ``successor=sources[i + 1]`` — the process that reacts to it by
+        broadcasting next, the shape a causally-consistent application
+        (payment → receipt → audit) produces.  Stagger the interval
+        above the expected delivery latency and each broadcast lands in
+        its successor's causal past, which the RCO protocols then
+        enforce at every correct process.
+        """
+        sources = tuple(sources)
+        if len(sources) < 2:
+            raise ConfigurationError(
+                f"causal_chain needs at least two links, got {sources}"
+            )
+        if interval_ms < 0:
+            raise ConfigurationError(
+                f"broadcast interval must be non-negative, got {interval_ms}"
+            )
+        next_bid: dict = {}
+        broadcasts = []
+        for index, source in enumerate(sources):
+            bid = next_bid.get(source, 0)
+            next_bid[source] = bid + 1
+            broadcasts.append(
+                BroadcastSpec(
+                    source=source,
+                    bid=bid,
+                    payload_seed=index,
+                    start_time_ms=start_ms + index * interval_ms,
+                    successor=sources[index + 1]
+                    if index + 1 < len(sources)
+                    else None,
+                )
+            )
+        return cls(broadcasts=tuple(broadcasts))
+
     # ------------------------------------------------------------------
     # Derived views
     # ------------------------------------------------------------------
@@ -399,6 +461,7 @@ class WorkloadSpec:
             len(self.broadcasts) == 1
             and self.broadcasts[0].payload_seed == 0
             and self.broadcasts[0].start_time_ms == 0.0
+            and self.broadcasts[0].successor is None
         )
 
 

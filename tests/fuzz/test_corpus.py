@@ -24,7 +24,9 @@ from repro.scenarios.jsonio import (
 from repro.scenarios.oracle import sample_lossy_adaptive_specs
 from repro.fuzz.corpus import (
     CATEGORIES,
+    DEFAULT_TRANSIENT_CAP,
     RECORD_SCHEMA_VERSION,
+    TRANSIENT_CATEGORIES,
     Corpus,
     CorpusRecord,
     validate_record_data,
@@ -212,3 +214,69 @@ class TestCorpus:
             "near_f_bound",
             "latency_outlier",
         )
+
+    def test_transient_categories_exclude_violations(self):
+        assert TRANSIENT_CATEGORIES == ("near_f_bound", "latency_outlier")
+        assert "oracle_violation" not in TRANSIENT_CATEGORIES
+        assert "conformance_divergence" not in TRANSIENT_CATEGORIES
+        assert DEFAULT_TRANSIENT_CAP > 0
+
+
+class TestPrune:
+    def _filled(self, tmp_path):
+        corpus = Corpus(tmp_path / "corpus")
+        for seed in range(6):
+            corpus.add(_record(seed=seed, category="near_f_bound"))
+        for seed in range(6, 9):
+            corpus.add(_record(seed=seed, category="latency_outlier"))
+        corpus.add(
+            _record(
+                seed=20,
+                category="oracle_violation",
+                violations=(("agreement", "split"),),
+            )
+        )
+        return corpus
+
+    def test_caps_each_transient_category(self, tmp_path):
+        corpus = self._filled(tmp_path)
+        removed = corpus.prune(max_per_category=2)
+        assert len(removed) == (6 - 2) + (3 - 2)
+        remaining = [corpus.load(h).category for h in corpus.hashes()]
+        assert remaining.count("near_f_bound") == 2
+        assert remaining.count("latency_outlier") == 2
+        for scenario_hash in removed:
+            assert scenario_hash not in corpus
+
+    def test_violations_are_kept_forever(self, tmp_path):
+        corpus = self._filled(tmp_path)
+        corpus.prune(max_per_category=0)
+        remaining = [corpus.load(h).category for h in corpus.hashes()]
+        assert remaining == ["oracle_violation"]
+
+    def test_retention_is_a_sorted_hash_prefix_per_category(self, tmp_path):
+        # Records carry no timestamps by design, so the survivors must
+        # be the first ``cap`` hashes per category in sorted order — the
+        # only retention rule every same-seed farm process agrees on.
+        first, second = self._filled(tmp_path / "a"), self._filled(tmp_path / "b")
+        expected = {}
+        for scenario_hash in first.hashes():
+            category = first.load(scenario_hash).category
+            if category in TRANSIENT_CATEGORIES:
+                expected.setdefault(category, []).append(scenario_hash)
+        first.prune(max_per_category=3)
+        second.prune(max_per_category=3)
+        assert first.hashes() == second.hashes()
+        for category, hashes in expected.items():
+            survivors = [h for h in hashes if h in first]
+            assert survivors == hashes[:3]
+
+    def test_untouched_under_cap(self, tmp_path):
+        corpus = self._filled(tmp_path)
+        before = corpus.hashes()
+        assert corpus.prune(max_per_category=10) == ()
+        assert corpus.hashes() == before
+
+    def test_negative_cap_is_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="non-negative"):
+            Corpus(tmp_path).prune(max_per_category=-1)

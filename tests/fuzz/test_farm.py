@@ -71,6 +71,26 @@ class TestStream:
         with pytest.raises(ValueError, match="at least one backend"):
             next(stream_fuzz_specs(backends=()))
 
+    def test_stream_restacks_rco_cells(self):
+        stream = stream_fuzz_specs(seed=1, rco_fraction=0.5)
+        specs = [next(stream) for _ in range(40)]
+        rco = [spec for spec in specs if spec.protocol == "rco_cross_layer"]
+        assert rco, "an rco_fraction of 0.5 must restack some cells"
+        assert any(spec.protocol == "cross_layer" for spec in specs)
+        # Some RCO cells carry a causally-chained workload, so the
+        # cross-source pending-set machinery gets fuzzed too.
+        assert any(
+            broadcast.successor is not None
+            for spec in rco
+            if spec.workload is not None
+            for broadcast in spec.workload.broadcasts
+        )
+
+    def test_zero_rco_fraction_leaves_the_protocol_alone(self):
+        stream = stream_fuzz_specs(seed=1, rco_fraction=0.0)
+        specs = [next(stream) for _ in range(40)]
+        assert all(spec.protocol == "cross_layer" for spec in specs)
+
 
 class TestFarm:
     def test_run_requires_a_budget(self, tmp_path):
@@ -228,6 +248,7 @@ class TestFarm:
             duplicate_violations=2,
             shrink_steps=4,
             shrink_attempts=9,
+            pruned_records=7,
             manifest_hash="deadbeef",
         )
         text = "\n".join(report.summary_lines())
@@ -235,7 +256,110 @@ class TestFarm:
         assert "new oracle_violation records: 1" in text
         assert "re-discovered known violations: 2" in text
         assert "4 accepted steps / 9 attempts" in text
+        assert "pruned transient records: 7" in text
         assert "deadbeef" in text
+
+    def test_transient_cap_bounds_the_corpus(self, tmp_path):
+        capped = FuzzFarm(tmp_path / "capped", seed=0, transient_cap=1)
+        report = capped.run(max_cells=24)
+        assert report.pruned_records > 0
+        categories = [
+            record.category for record in Corpus(tmp_path / "capped").records()
+        ]
+        assert categories.count("near_f_bound") <= 1
+        assert categories.count("latency_outlier") <= 1
+
+        unbounded = FuzzFarm(tmp_path / "raw", seed=0, transient_cap=None)
+        raw = unbounded.run(max_cells=24)
+        assert raw.pruned_records == 0
+        raw_count = len(Corpus(tmp_path / "raw").hashes())
+        assert raw_count > len(Corpus(tmp_path / "capped").hashes())
+
+    def test_rco_cells_keep_the_farm_green(self, tmp_path):
+        farm = FuzzFarm(tmp_path / "corpus", seed=0, rco_fraction=1.0)
+        report = farm.run(max_cells=8)
+        assert report.cells_run == 8
+        assert report.violation_count == 0
+        assert report.exit_code == 0
+
+
+class TestConformanceDivergence:
+    @staticmethod
+    def _forge(result):
+        metrics = result.metrics
+        forged_key = (1, (1, 99))
+        patched = dataclasses.replace(
+            metrics,
+            delivery_times={**metrics.delivery_times, forged_key: 1.0},
+            delivered_payloads={**metrics.delivered_payloads, forged_key: b"x"},
+        )
+        return dataclasses.replace(result, metrics=patched)
+
+    def test_unreproducible_divergence_is_recorded_unshrunk(
+        self, tmp_path, monkeypatch
+    ):
+        """The mirror run "diverges", but the conformance evaluator's
+        honest baseline re-run is green: the farm must keep the raw
+        offender instead of crashing on the failed shrink."""
+        from repro.fuzz import farm as farm_module
+
+        real_run = farm_module.run_scenario
+        monkeypatch.setattr(
+            farm_module, "run_scenario", lambda spec: self._forge(real_run(spec))
+        )
+        farm = FuzzFarm(
+            tmp_path / "corpus",
+            check=lambda result: (),
+            seed=0,
+            conformance_backends=("simulation", "asyncio"),
+        )
+        report = farm.run(max_cells=2)
+        hashes = report.new_records.get("conformance_divergence", [])
+        assert hashes, "every mirrored cell diverges under the forge"
+        corpus = Corpus(tmp_path / "corpus")
+        for scenario_hash in hashes:
+            record = corpus.load(scenario_hash)
+            assert record.stats["diverging_backend"] == "asyncio"
+            assert record.shrunk_spec is None
+            assert record.shrunk_violations == ()
+
+    def test_reproducible_divergence_is_shrunk(self, tmp_path, monkeypatch):
+        """When the cross-backend evaluator reproduces the divergence,
+        the recorded spec carries a minimized reproducer."""
+        from repro.scenarios.oracle import OracleViolation
+        from repro.fuzz import farm as farm_module
+
+        real_run = farm_module.run_scenario
+        monkeypatch.setattr(
+            farm_module, "run_scenario", lambda spec: self._forge(real_run(spec))
+        )
+
+        def fake_evaluator(backends, *, mode="auto", overrides=None, run=None):
+            assert mode == "safety"
+
+            def evaluate(spec):
+                return (
+                    OracleViolation(invariant="conformance", detail="fake"),
+                )
+
+            return evaluate
+
+        monkeypatch.setattr(farm_module, "conformance_evaluator", fake_evaluator)
+        farm = FuzzFarm(
+            tmp_path / "corpus",
+            check=lambda result: (),
+            seed=0,
+            conformance_backends=("simulation", "asyncio"),
+        )
+        report = farm.run(max_cells=2)
+        hashes = report.new_records.get("conformance_divergence", [])
+        assert hashes
+        assert report.shrink_attempts > 0
+        corpus = Corpus(tmp_path / "corpus")
+        for scenario_hash in hashes:
+            record = corpus.load(scenario_hash)
+            assert record.shrunk_spec is not None
+            assert ("conformance", "fake") in record.shrunk_violations
 
 
 class TestCLI:
@@ -278,3 +402,41 @@ class TestCLI:
         with pytest.raises(SystemExit) as excinfo:
             main(["--corpus-dir", str(tmp_path)])
         assert excinfo.value.code == 2
+
+    def test_transient_cap_zero_empties_the_transient_tiers(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        code = main(
+            [
+                "--corpus-dir",
+                corpus_dir,
+                "--max-cells",
+                "24",
+                "--seed",
+                "0",
+                "--transient-cap",
+                "0",
+                "--rco-fraction",
+                "0.0",
+            ]
+        )
+        assert code == 0
+        assert "pruned transient records:" in capsys.readouterr().out
+        assert Corpus(corpus_dir).hashes() == ()
+
+    def test_negative_transient_cap_disables_pruning(self, tmp_path, capsys):
+        corpus_dir = str(tmp_path / "corpus")
+        code = main(
+            [
+                "--corpus-dir",
+                corpus_dir,
+                "--max-cells",
+                "24",
+                "--seed",
+                "0",
+                "--transient-cap",
+                "-1",
+            ]
+        )
+        assert code == 0
+        assert "pruned transient records" not in capsys.readouterr().out
+        assert Corpus(corpus_dir).hashes(), "unpruned transients stay recorded"

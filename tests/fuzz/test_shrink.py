@@ -33,9 +33,11 @@ from repro.scenarios.reduce import (
     shrink_payload,
     shrink_topology,
     simplify_delay,
+    simplify_protocol,
     spec_size,
 )
 from repro.fuzz.shrink import (
+    conformance_evaluator,
     oracle_evaluator,
     regression_stub,
     shrink_failing_spec,
@@ -135,6 +137,14 @@ class TestOperators:
         spec = _noisy_spec()
         sizes = [c.payload_size for c in shrink_payload(spec)]
         assert sizes == [0, 16]
+
+    def test_simplify_protocol_unstacks_the_causal_wrapper(self):
+        spec = dataclasses.replace(_noisy_spec(), protocol="rco_cross_layer")
+        (candidate,) = list(simplify_protocol(spec))
+        assert candidate.protocol == "cross_layer"
+        assert spec_size(candidate) < spec_size(spec)
+        # Nothing to unstack on a bare protocol.
+        assert list(simplify_protocol(_noisy_spec())) == []
 
     def test_every_candidate_strictly_decreases_spec_size(self):
         spec = _noisy_spec()
@@ -292,3 +302,63 @@ class TestRegressionStub:
         assert evaluate(spec) == ()
         assert evaluate(spec) == ()
         assert len(calls) == 1
+
+
+class _FakeReport:
+    def __init__(self, mismatches):
+        self._mismatches = mismatches
+
+    def mismatches(self):
+        return self._mismatches
+
+
+class TestConformanceEvaluator:
+    """The divergence-as-the-bug evaluator the farm's nightly lane uses."""
+
+    def _diverging_runner(self, calls):
+        """Backends "disagree" exactly while the candidate stays lossy."""
+
+        def run(spec, backends, overrides=None, mode="auto"):
+            calls.append((spec.scenario_hash(), tuple(backends), mode))
+            if spec.is_lossy:
+                return _FakeReport(["safety verdicts differ on simulation"])
+            return _FakeReport([])
+
+        return run
+
+    def test_mismatches_become_conformance_violations(self):
+        calls = []
+        evaluate = conformance_evaluator(
+            ("simulation", "asyncio"),
+            mode="safety",
+            run=self._diverging_runner(calls),
+        )
+        violations = evaluate(_noisy_spec())
+        assert [v.invariant for v in violations] == ["conformance"]
+        assert "safety verdicts differ" in violations[0].detail
+        assert calls[0][1] == ("simulation", "asyncio")
+        assert calls[0][2] == "safety"
+
+    def test_memoized_by_scenario_hash(self):
+        calls = []
+        evaluate = conformance_evaluator(run=self._diverging_runner(calls))
+        spec = _noisy_spec()
+        assert evaluate(spec) == evaluate(spec)
+        assert len(calls) == 1
+
+    def test_shrinker_minimizes_a_divergence(self):
+        # The fake divergence only needs lossy links: the shrinker must
+        # strip the fault machinery while the backends still "disagree".
+        evaluate = conformance_evaluator(run=self._diverging_runner([]))
+        outcome = shrink_failing_spec(_noisy_spec(), evaluate)
+        assert outcome.at_fixpoint
+        assert outcome.minimal.is_lossy
+        assert fault_event_count(outcome.minimal) == 0
+        assert {v.invariant for v in outcome.violations} == {"conformance"}
+
+    def test_green_report_means_nothing_to_shrink(self):
+        evaluate = conformance_evaluator(
+            run=lambda spec, backends, overrides=None, mode="auto": _FakeReport([])
+        )
+        with pytest.raises(ValueError, match="does not violate"):
+            shrink_failing_spec(_noisy_spec(), evaluate)

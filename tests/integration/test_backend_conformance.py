@@ -157,6 +157,40 @@ class TestWorkloadConformance:
         ]
 
 
+class TestRCOConformance:
+    """The causal wrapper's verdicts agree across backends.
+
+    The causal-order field of the safety verdict rides along, so a
+    backend that delivered out of causal order would fail conformance,
+    not just the oracle.
+    """
+
+    def test_causal_chain_conforms(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-rco-chain",
+                topology=TopologySpec(kind="harary", n=5, k=3),
+                protocol="rco_cross_layer",
+                f=1,
+                seed=13,
+                workload=WorkloadSpec.causal_chain((0, 2, 4), interval_ms=250.0),
+            )
+        )
+
+    def test_rco_with_delayed_start_conforms(self):
+        assert_conforms(
+            ScenarioSpec(
+                name="conformance-rco-delayed",
+                topology=TopologySpec(kind="harary", n=5, k=3),
+                protocol="rco_cross_layer",
+                f=1,
+                seed=17,
+                faults=(DelayedStart(pid=3, time_ms=120.0),),
+                workload=WorkloadSpec.causal_chain((0, 2), interval_ms=300.0),
+            )
+        )
+
+
 class TestSweepWithBackendAxis:
     def test_executor_runs_mixed_backend_cells_and_caches_per_backend(self, tmp_path):
         base = ScenarioSpec(

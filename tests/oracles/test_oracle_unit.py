@@ -12,19 +12,23 @@ import dataclasses
 import pytest
 
 from repro.scenarios import (
+    CrashAt,
     CrashWhen,
     CutLinkWhen,
+    DelayedStart,
     DelaySpec,
     LinkDropWindow,
     ObservationFilter,
     ScenarioSpec,
     TopologySpec,
     TurnByzantineWhen,
+    WorkloadSpec,
     run_scenario,
 )
 from repro.scenarios.oracle import (
     assert_safe,
     check_agreement,
+    check_causal_order,
     check_no_forgery,
     check_result,
     check_totality,
@@ -146,6 +150,63 @@ class TestTotalityExpected:
         )
         assert not totality_expected(spec)
 
+    def test_crashed_spec_does_not(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            faults=(CrashAt(pid=2, time_ms=5.0),),
+        )
+        assert not totality_expected(spec)
+
+    def test_delayed_start_only_spec_still_expects_totality(self):
+        # A dormant node buffers early messages and replays them at
+        # wake-up, so delivery stays guaranteed: the fault *types*
+        # decide, not mere fault presence.
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            faults=(DelayedStart(pid=2, time_ms=50.0),),
+        )
+        assert totality_expected(spec)
+
+    def test_mixed_fault_types_do_not(self):
+        spec = ScenarioSpec(
+            topology=TopologySpec(kind="complete", n=5),
+            faults=(
+                DelayedStart(pid=2, time_ms=50.0),
+                CrashAt(pid=3, time_ms=5.0),
+            ),
+        )
+        assert not totality_expected(spec)
+
+
+class TestDelayedStartTotalityRegression:
+    """A totality breach under DelayedStart-only faults must fire.
+
+    The oracle used to suppress totality for *any* static fault event,
+    so a run where a delayed node never delivered passed silently.
+    """
+
+    def _delayed_spec(self):
+        return ScenarioSpec(
+            name="oracle-delayed",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            f=0,
+            seed=3,
+            faults=(DelayedStart(pid=2, time_ms=80.0),),
+        )
+
+    def test_delayed_start_run_is_green(self):
+        assert check_result(run_scenario(self._delayed_spec())) == []
+
+    def test_missing_delivery_is_reported_again(self):
+        result = run_scenario(self._delayed_spec())
+        broken = _with_outcome(
+            result,
+            all_correct_delivered=False,
+            delivered_processes=(0, 1, 3, 4),
+        )
+        assert "totality" in [v.invariant for v in check_result(broken)]
+
 
 class TestSampler:
     def test_sampler_is_seed_deterministic(self):
@@ -187,3 +248,60 @@ class TestSampler:
                 if isinstance(fault, CutLinkWhen):
                     topology = cell.topology.build(cell.seed)
                     assert topology.has_edge(fault.u, fault.v)
+
+
+def _swap_deliveries(result, pid, first_key, second_key):
+    """The result with ``pid``'s two deliveries swapped in trace order."""
+    entries = list(result.metrics.delivery_times.items())
+    a = entries.index(((pid, first_key), result.metrics.delivery_times[(pid, first_key)]))
+    b = entries.index(((pid, second_key), result.metrics.delivery_times[(pid, second_key)]))
+    entries[a], entries[b] = entries[b], entries[a]
+    patched = dataclasses.replace(result.metrics, delivery_times=dict(entries))
+    return dataclasses.replace(result, metrics=patched)
+
+
+class TestCausalOrderCheck:
+    @pytest.fixture()
+    def rco_result(self):
+        spec = ScenarioSpec(
+            name="oracle-rco",
+            topology=TopologySpec(kind="complete", n=5),
+            delay=DelaySpec(kind="fixed", mean_ms=5.0),
+            protocol="rco_cross_layer",
+            f=1,
+            seed=3,
+            workload=WorkloadSpec.causal_chain((0, 2, 4), interval_ms=150.0),
+        )
+        return run_scenario(spec)
+
+    def test_clean_rco_run_is_green(self, rco_result):
+        assert check_result(rco_result) == []
+
+    def test_vacuous_off_rco(self, clean_result):
+        assert check_causal_order(clean_result) == []
+
+    def test_out_of_causal_order_delivery_detected(self, rco_result):
+        pid = next(
+            p for p in rco_result.correct_processes if p not in (0, 2)
+        )
+        broken = _swap_deliveries(rco_result, pid, (0, 0), (2, 0))
+        violations = check_causal_order(broken)
+        assert violations and violations[0].invariant == "causal_order"
+        assert "before its causal predecessor" in violations[0].detail
+        assert "causal_order" in [v.invariant for v in check_result(broken)]
+        with pytest.raises(AssertionError, match="causal_order"):
+            assert_safe(broken)
+
+    def test_missing_predecessor_detected(self, rco_result):
+        pid = next(
+            p for p in rco_result.correct_processes if p not in (0, 2)
+        )
+        times = {
+            key: time
+            for key, time in rco_result.metrics.delivery_times.items()
+            if key != (pid, (0, 0))
+        }
+        patched = dataclasses.replace(rco_result.metrics, delivery_times=times)
+        broken = dataclasses.replace(rco_result, metrics=patched)
+        violations = check_causal_order(broken)
+        assert violations and "without its causal predecessor" in violations[0].detail

@@ -148,6 +148,60 @@ class TestWorkloadSpec:
             run_scenario(spec)
 
 
+class TestCausalChain:
+    def test_chain_links_name_their_successor(self):
+        workload = WorkloadSpec.causal_chain((0, 2, 4), interval_ms=40.0)
+        assert [b.source for b in workload.broadcasts] == [0, 2, 4]
+        assert [b.successor for b in workload.broadcasts] == [2, 4, None]
+        assert [b.start_time_ms for b in workload.broadcasts] == [0.0, 40.0, 80.0]
+        assert [b.payload_seed for b in workload.broadcasts] == [0, 1, 2]
+
+    def test_repeat_visits_take_the_next_per_source_bid(self):
+        workload = WorkloadSpec.causal_chain((0, 2, 0, 2), interval_ms=10.0)
+        assert [b.key for b in workload.broadcasts] == [
+            (0, 0),
+            (2, 0),
+            (0, 1),
+            (2, 1),
+        ]
+
+    def test_invalid_chains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.causal_chain((0,))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec.causal_chain((0, 1), interval_ms=-1.0)
+        with pytest.raises(ConfigurationError):
+            BroadcastSpec(successor=-1)
+
+    def test_single_broadcast_with_successor_is_not_trivial(self):
+        # A successor makes the broadcast causally meaningful, so the
+        # spec must keep its workload instead of normalizing to legacy.
+        workload = WorkloadSpec(broadcasts=(BroadcastSpec(successor=3),))
+        spec = harary_spec(workload=workload)
+        assert spec.workload is not None
+
+    def test_successor_default_keeps_legacy_hashes(self):
+        # Hash suppression: a workload written before the successor
+        # field existed hashes identically to one using the default.
+        plain = harary_spec(workload=WorkloadSpec.repeated(0, 3, interval_ms=40.0))
+        assert all(b.successor is None for b in plain.workload.broadcasts)
+        chained = harary_spec(
+            workload=WorkloadSpec.causal_chain((0, 1, 2), interval_ms=40.0)
+        )
+        assert plain.scenario_hash() != chained.scenario_hash()
+
+    def test_chain_is_a_grid_axis_and_round_trips_the_wire(self):
+        spec = harary_spec(
+            workload=WorkloadSpec.causal_chain((0, 1), interval_ms=30.0)
+        )
+        assert loads_spec(dumps_spec(spec)) == spec
+        cells = expand_grid(
+            harary_spec(),
+            {"workload": [None, spec.workload], "protocol": ["cross_layer", "rco_cross_layer"]},
+        )
+        assert len({cell.scenario_hash() for cell in cells}) == 4
+
+
 class TestMultiBroadcastEngine:
     def test_repeated_workload_delivers_every_broadcast(self):
         """Tier-1 workload smoke test (simulation backend, fast)."""
