@@ -9,7 +9,6 @@ MBD modification.  It regenerates the motivation for the paper's claim
 that BD does not scale and BDopt is the right baseline.
 """
 
-import pytest
 
 from repro.core.modifications import ModificationSet
 from repro.runner.experiment import ExperimentConfig, run_experiment

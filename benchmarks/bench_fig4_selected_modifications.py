@@ -5,7 +5,6 @@ bandwidth consumption of BDopt+MBD.1 and of BDopt+MBD.1 plus one of
 MBD.7, 8, 9, 11, as a function of the network connectivity k.
 """
 
-import pytest
 
 from repro.core.modifications import ModificationSet
 from repro.runner.experiment import ExperimentConfig, run_repeated

@@ -5,7 +5,6 @@ latency and network consumption of BDopt+MBD.1 with the three composite
 configurations of Sec. 7.4 as the connectivity k grows.
 """
 
-import pytest
 
 from repro.core.modifications import ModificationSet
 from repro.runner.experiment import ExperimentConfig, run_repeated

@@ -11,7 +11,6 @@ upper bound — plus the Python-level peak allocation measured with
 
 import tracemalloc
 
-import pytest
 
 from repro.core.modifications import ModificationSet
 from repro.runner.experiment import ExperimentConfig, run_experiment

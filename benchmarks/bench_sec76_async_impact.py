@@ -7,7 +7,6 @@ synchronous setting (e.g. MBD.11's network-consumption reduction drops
 from about -24% to -18%).
 """
 
-import pytest
 
 from repro.core.modifications import ModificationSet
 from repro.metrics.report import median

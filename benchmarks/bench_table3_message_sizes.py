@@ -6,7 +6,6 @@ size of every message type the protocol puts on a link, for a 16 B and a
 rely on.
 """
 
-import pytest
 
 from repro.core.messages import CrossLayerMessage, MessageType
 from repro.core.sizes import PAPER_FIELD_SIZES

@@ -25,6 +25,7 @@ setup(
         "console_scripts": [
             "repro-sweep-worker=repro.runner.distributed:worker_main",
             "repro-fuzz=repro.fuzz.cli:main",
+            "repro-lint=repro.lint.cli:main",
         ],
     },
 )

@@ -1,0 +1,107 @@
+"""``repro-lint`` — the determinism-contract linter's command line.
+
+Exit protocol (stable; the ``determinism-lint`` CI job relies on it):
+
+* ``0`` — every scanned file is clean (suppressed findings allowed);
+* ``1`` — at least one active error-severity finding;
+* ``2`` — usage, configuration or internal error.
+
+``--format json`` emits the versioned report document (see
+:mod:`repro.lint.report`); ``--list-rules`` prints the rule catalog
+with each rule's one-line rationale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.lint.config import ConfigError, load_config
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_human, render_json
+from repro.lint.rules import RULES
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis of the repository's determinism contract: "
+            "sans-io protocol purity, stable iteration order, seeded "
+            "randomness, hash-suppression registration, __slots__ "
+            "coverage and schema-constant consistency."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: [lint].paths from the config)",
+    )
+    parser.add_argument(
+        "--config",
+        default="lint.toml",
+        help="path to the lint configuration (default: ./lint.toml)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="report format (default: human)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the report to FILE (stdout always gets it)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="ID[,ID...]",
+        help="run only these rule ids (must be enabled in the config)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rule catalog and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            rule = RULES[rule_id]
+            print(f"{rule_id}  {rule.title}")
+            print(f"        {rule.rationale}")
+        return 0
+
+    only_rules = None
+    if args.rules:
+        only_rules = [part.strip() for part in args.rules.split(",") if part.strip()]
+
+    try:
+        config = load_config(args.config)
+        report = lint_paths(config, paths=args.paths or None, only_rules=only_rules)
+    except ConfigError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    rendered = render_json(report) if args.format == "json" else render_human(report)
+    sys.stdout.write(rendered)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+        except OSError as exc:
+            print(f"repro-lint: error: cannot write {args.output}: {exc}", file=sys.stderr)
+            return 2
+    return report.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -1,0 +1,85 @@
+"""Inline suppression pragmas: ``# repro-lint: allow[RULE] -- why``.
+
+A pragma names the rule ids it silences (comma-separated inside the
+brackets, or ``*`` for all) and may carry a justification after ``--``;
+suppressed findings stay in the JSON report with ``suppressed: true``
+and the justification attached, so every waiver is auditable.
+
+Placement: a trailing pragma covers findings reported on its own line;
+a comment-only pragma line covers the next line as well (the idiom for
+multi-line statements, where findings anchor to the statement's first
+line).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*allow\[\s*([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)\s*\]"
+    r"(?:\s*--\s*(?P<why>.*?))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: FrozenSet[str]
+    justification: Optional[str] = None
+    standalone: bool = False
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rules or rule_id in self.rules
+
+
+def scan_pragmas(source: str) -> Dict[int, Pragma]:
+    """Map source line numbers to the pragma that covers them.
+
+    Comments are found with :mod:`tokenize`, so a pragma-looking string
+    literal never suppresses anything.  Unreadable source (the engine
+    reports syntax errors separately) yields no pragmas.
+    """
+    by_line: Dict[int, Pragma] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return by_line
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = PRAGMA_RE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group(1).split(",") if part.strip()
+        )
+        line = token.start[0]
+        standalone = token.line.strip().startswith("#")
+        pragma = Pragma(
+            line=line,
+            rules=rules,
+            justification=match.group("why") or None,
+            standalone=standalone,
+        )
+        by_line[line] = pragma
+        if standalone:
+            # A comment-only pragma also covers the statement below it.
+            by_line.setdefault(line + 1, pragma)
+    return by_line
+
+
+def pragma_for(pragmas: Dict[int, Pragma], line: int, rule_id: str) -> Optional[Pragma]:
+    """The pragma suppressing ``rule_id`` at ``line``, if any."""
+    pragma = pragmas.get(line)
+    if pragma is not None and pragma.covers(rule_id):
+        return pragma
+    return None
+
+
+__all__ = ["Pragma", "PRAGMA_RE", "scan_pragmas", "pragma_for"]

@@ -1,0 +1,101 @@
+"""Report rendering: the human console format and the JSON artifact.
+
+The JSON document is the CI contract — the ``determinism-lint`` job
+uploads it as an artifact and fails on ``summary.active > 0`` — so its
+layout is versioned like every other schema in this repository (see the
+WIR001 pin in ``lint.toml``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.lint.rules import RULES, Finding
+
+#: Bump when the JSON report layout changes; pinned by WIR001 itself.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one engine run."""
+
+    findings: Tuple[Finding, ...]
+    files_scanned: int
+    rules: Tuple[str, ...]
+
+    @property
+    def active(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if not f.suppressed)
+
+    @property
+    def suppressed(self) -> Tuple[Finding, ...]:
+        return tuple(f for f in self.findings if f.suppressed)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no active error-severity finding remains, else 1."""
+        return 1 if any(f.severity == "error" for f in self.active) else 0
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def render_json(report: LintReport) -> str:
+    document = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "files_scanned": report.files_scanned,
+        "rules": list(report.rules),
+        "findings": [
+            {
+                "rule": f.rule,
+                "severity": f.severity,
+                "path": f.path,
+                "line": f.line,
+                "column": f.column,
+                "message": f.message,
+                "suppressed": f.suppressed,
+                "justification": f.justification,
+            }
+            for f in report.findings
+        ],
+        "summary": {
+            "active": len(report.active),
+            "suppressed": len(report.suppressed),
+            "by_rule": report.by_rule(),
+        },
+    }
+    return json.dumps(document, indent=2, sort_keys=False) + "\n"
+
+
+def render_human(report: LintReport) -> str:
+    lines = []
+    for finding in report.findings:
+        suffix = ""
+        if finding.suppressed:
+            why = f" ({finding.justification})" if finding.justification else ""
+            suffix = f"  [suppressed{why}]"
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.column + 1}: "
+            f"{finding.rule} {finding.severity}: {finding.message}{suffix}"
+        )
+    active = report.active
+    lines.append(
+        f"repro-lint: {report.files_scanned} files, "
+        f"{len(report.rules)} rules, {len(active)} active finding(s), "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if active:
+        for rule_id, count in report.by_rule().items():
+            title = RULES[rule_id].title if rule_id in RULES else "parse error"
+            lines.append(f"  {rule_id} x{count}: {title}")
+    return "\n".join(lines) + "\n"
+
+
+__all__ = ["LintReport", "REPORT_SCHEMA_VERSION", "render_human", "render_json"]

@@ -27,6 +27,8 @@ from repro.core.errors import RuntimeAbort
 class EventScheduler:
     """Priority queue of timed callbacks with a virtual clock."""
 
+    __slots__ = ("_times", "_buckets", "now", "executed_events")
+
     def __init__(self) -> None:
         # Heap of timestamps; one entry per *distinct* pending timestamp
         # (re-pushed if a bucket is re-created after its drain started).

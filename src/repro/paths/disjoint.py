@@ -147,7 +147,7 @@ class DisjointPathVerifier:
                 if union & bits == 0:
                     new_entries.setdefault(count + 1, []).append(union | bits)
 
-        for count, unions in new_entries.items():
+        for count, unions in sorted(new_entries.items()):
             existing = self._frontier.setdefault(count, [])
             for union in unions:
                 if not _is_dominated(union, existing):

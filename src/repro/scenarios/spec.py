@@ -663,7 +663,7 @@ def _canonical(value):
         }
         suppress = getattr(type(value), "_HASH_SUPPRESS_DEFAULTS", None)
         if suppress:
-            for name, default in suppress.items():
+            for name, default in sorted(suppress.items()):
                 if name in fields_dict and fields_dict[name] == default:
                     del fields_dict[name]
         return {"__type__": type(value).__name__, **fields_dict}
@@ -672,6 +672,7 @@ def _canonical(value):
     if isinstance(value, bytes):
         return value.hex()
     if isinstance(value, dict):
+        # repro-lint: allow[DET002] -- keys may be mixed-type (unsortable); json.dumps(sort_keys=True) canonicalizes the order downstream
         return {str(key): _canonical(val) for key, val in value.items()}
     return value
 

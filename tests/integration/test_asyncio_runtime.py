@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.core.config import SystemConfig
 from repro.core.modifications import ModificationSet

@@ -1,6 +1,5 @@
 """Integration tests for the extension substrates (routed Dolev, CPA, Bracha-CPA)."""
 
-import pytest
 
 from repro.core.config import SystemConfig
 from repro.brb.cpa import BrachaCPABroadcast, CPABroadcast, cpa_can_complete

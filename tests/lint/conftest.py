@@ -1,0 +1,48 @@
+"""Shared harness for the determinism-linter test suite.
+
+``lint_tree`` materializes a throwaway project tree (source files plus a
+programmatic config) and runs the engine over it, so every rule fixture
+is exercised end-to-end: discovery, scoping, pragmas and reporting.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+import pytest
+
+from repro.lint.config import LintConfig
+from repro.lint.engine import lint_paths
+from repro.lint.report import LintReport
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Run the engine over an ad-hoc tree: ``lint_tree(files, rules)``."""
+
+    def run(
+        files: Mapping[str, str],
+        rules: Mapping[str, Mapping],
+        paths: Sequence[str] = ("src",),
+        only_rules: Optional[Sequence[str]] = None,
+    ) -> LintReport:
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        config = LintConfig.from_mapping(
+            {"lint": {"paths": list(paths)}, "rules": {k: dict(v) for k, v in rules.items()}},
+            root=tmp_path,
+        )
+        return lint_paths(config, only_rules=only_rules)
+
+    return run
+
+
+def active_rules(report: LintReport) -> Dict[str, int]:
+    """Active finding counts keyed by rule id."""
+    return report.by_rule()

@@ -1,0 +1,174 @@
+"""CLI regression tests: entry points, exit protocol and the
+seeded-violation acceptance matrix (one crafted violation per rule must
+turn the gate red with that rule id in the JSON report)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.rules import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One minimal violating module per rule, planted in a temp project.
+SEEDED_VIOLATIONS = {
+    "DET001": "import time\n\nSTAMP = time.time()\n",
+    "DET002": "def drain(d):\n    for k, v in d.items():\n        yield k, v\n",
+    "SIO001": "import asyncio\n",
+    "HSH001": textwrap.dedent(
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class Spec:
+            fresh: int = 7
+
+            _HASH_SUPPRESS_DEFAULTS = {}
+        """
+    ),
+    "SLT001": "class Hot:\n    def __init__(self):\n        self.a = 1\n",
+    "WIR001": "WIRE_VERSION = 99\n",
+}
+
+CONFIG_TEMPLATE = """
+[lint]
+paths = ["src"]
+
+[rules.DET001]
+include = ["src/**"]
+[rules.DET002]
+include = ["src/**"]
+[rules.SIO001]
+include = ["src/**"]
+[rules.HSH001]
+include = ["src/**"]
+[rules.SLT001]
+include = ["src/**"]
+[rules.SLT001.classes]
+"src/slt001.py::Hot" = []
+[rules.WIR001]
+include = ["src/**"]
+[rules.WIR001.constants.WIRE_VERSION]
+module = "src/wir001.py"
+value = 3
+"""
+
+
+def run_cli(args, cwd):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_module_help_works_from_checkout():
+    """Regression gate for the console-script/module entry point."""
+    result = run_cli(["--help"], cwd=REPO_ROOT)
+    assert result.returncode == 0
+    assert "repro-lint" in result.stdout
+    assert "determinism" in result.stdout
+
+
+def test_list_rules_prints_catalog():
+    result = run_cli(["--list-rules"], cwd=REPO_ROOT)
+    assert result.returncode == 0
+    for rule_id in RULES:
+        assert rule_id in result.stdout
+
+
+@pytest.fixture
+def seeded_project(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "lint.toml").write_text(CONFIG_TEMPLATE, encoding="utf-8")
+
+    def seed(rule_id):
+        name = f"{rule_id.lower()}.py"
+        (tmp_path / "src" / name).write_text(SEEDED_VIOLATIONS[rule_id], encoding="utf-8")
+        return tmp_path
+
+    return seed
+
+
+@pytest.mark.parametrize("rule_id", sorted(SEEDED_VIOLATIONS))
+def test_seeded_violation_turns_gate_red(seeded_project, rule_id):
+    """Acceptance criterion: each rule's crafted violation exits non-zero
+    with the rule id in the JSON report."""
+    project = seeded_project(rule_id)
+    result = run_cli(["--format", "json"], cwd=project)
+    assert result.returncode == 1, result.stdout + result.stderr
+    document = json.loads(result.stdout)
+    assert rule_id in {f["rule"] for f in document["findings"] if not f["suppressed"]}
+
+
+def test_seeded_violations_cover_every_registered_rule():
+    assert set(SEEDED_VIOLATIONS) == set(RULES)
+
+
+def test_clean_project_exits_zero(tmp_path):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+    (tmp_path / "lint.toml").write_text(
+        '[lint]\npaths = ["src"]\n[rules.DET001]\ninclude = ["src/**"]\n',
+        encoding="utf-8",
+    )
+    result = run_cli([], cwd=tmp_path)
+    assert result.returncode == 0
+    assert "0 active finding(s)" in result.stdout
+
+
+def test_missing_config_exits_two(tmp_path):
+    result = run_cli([], cwd=tmp_path)
+    assert result.returncode == 2
+    assert "error" in result.stderr
+
+
+def test_output_file_written(seeded_project):
+    project = seeded_project("DET001")
+    result = run_cli(["--format", "json", "--output", "report.json"], cwd=project)
+    assert result.returncode == 1
+    document = json.loads((project / "report.json").read_text(encoding="utf-8"))
+    assert document["summary"]["active"] >= 1
+
+
+def test_rules_filter_in_process(tmp_path, monkeypatch, capsys):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(
+        "import time\nx = time.time()\nfor k in {1, 2}:\n    pass\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "lint.toml").write_text(
+        '[lint]\npaths = ["src"]\n'
+        '[rules.DET001]\ninclude = ["src/**"]\n'
+        '[rules.DET002]\ninclude = ["src/**"]\n',
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    code = main(["--rules", "DET002", "--format", "json"])
+    captured = capsys.readouterr()
+    document = json.loads(captured.out)
+    assert code == 1
+    assert {f["rule"] for f in document["findings"]} == {"DET002"}
+
+
+def test_unknown_rules_filter_exits_two(tmp_path, monkeypatch, capsys):
+    (tmp_path / "src").mkdir()
+    (tmp_path / "lint.toml").write_text(
+        '[lint]\npaths = ["src"]\n[rules.DET001]\ninclude = ["src/**"]\n',
+        encoding="utf-8",
+    )
+    monkeypatch.chdir(tmp_path)
+    assert main(["--rules", "NOPE01"]) == 2

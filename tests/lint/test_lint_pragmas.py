@@ -1,0 +1,79 @@
+"""Inline suppression behavior: placement, scoping and auditability."""
+
+from __future__ import annotations
+
+from repro.lint.pragmas import PRAGMA_RE, Pragma, pragma_for, scan_pragmas
+
+TRAILING = "import time\nx = time.time()  # repro-lint: allow[DET001] -- fixture clock\n"
+
+
+def test_trailing_pragma_suppresses_same_line(lint_tree):
+    report = lint_tree({"src/mod.py": TRAILING}, {"DET001": {"include": ["**"]}})
+    assert report.active == ()
+    (finding,) = report.suppressed
+    assert finding.suppressed and finding.rule == "DET001"
+    assert finding.justification == "fixture clock"
+    assert report.exit_code == 0
+
+
+def test_standalone_pragma_covers_next_line(lint_tree):
+    source = (
+        "import time\n"
+        "# repro-lint: allow[DET001] -- budget deadline, never protocol state\n"
+        "deadline = time.monotonic()\n"
+    )
+    report = lint_tree({"src/mod.py": source}, {"DET001": {"include": ["**"]}})
+    assert report.active == ()
+    (finding,) = report.suppressed
+    assert finding.line == 3
+    assert finding.justification == "budget deadline, never protocol state"
+
+
+def test_pragma_for_other_rule_does_not_suppress(lint_tree):
+    source = "import time\nx = time.time()  # repro-lint: allow[DET002]\n"
+    report = lint_tree({"src/mod.py": source}, {"DET001": {"include": ["**"]}})
+    assert len(report.active) == 1
+    assert report.exit_code == 1
+
+
+def test_wildcard_and_multi_rule_pragmas(lint_tree):
+    source = (
+        "import time\n"
+        "a = time.time()  # repro-lint: allow[*]\n"
+        "b = time.time()  # repro-lint: allow[DET001, DET002]\n"
+        "c = time.time()\n"
+    )
+    report = lint_tree({"src/mod.py": source}, {"DET001": {"include": ["**"]}})
+    assert len(report.suppressed) == 2
+    assert [f.line for f in report.active] == [4]
+
+
+def test_pragma_inside_string_is_inert(lint_tree):
+    source = (
+        "import time\n"
+        'note = "# repro-lint: allow[DET001]"\n'
+        "x = time.time()\n"
+    )
+    report = lint_tree({"src/mod.py": source}, {"DET001": {"include": ["**"]}})
+    assert len(report.active) == 1
+
+
+def test_scan_pragmas_parses_rules_and_justification():
+    pragmas = scan_pragmas(TRAILING)
+    pragma = pragmas[2]
+    assert pragma.rules == frozenset({"DET001"})
+    assert pragma.justification == "fixture clock"
+    assert not pragma.standalone
+
+
+def test_pragma_regex_requires_bracket_list():
+    assert PRAGMA_RE.search("# repro-lint: allow[DET001]") is not None
+    assert PRAGMA_RE.search("# repro-lint: allow DET001") is None
+    assert PRAGMA_RE.search("# noqa") is None
+
+
+def test_pragma_for_helper():
+    pragma = Pragma(line=4, rules=frozenset({"SLT001"}))
+    assert pragma_for({4: pragma}, 4, "SLT001") is pragma
+    assert pragma_for({4: pragma}, 4, "DET001") is None
+    assert pragma_for({4: pragma}, 5, "SLT001") is None

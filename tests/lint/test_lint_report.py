@@ -1,0 +1,82 @@
+"""JSON report schema and exit-protocol semantics."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.report import REPORT_SCHEMA_VERSION, render_human, render_json
+
+VIOLATING = {"src/mod.py": "import time\nx = time.time()\n"}
+SUPPRESSED = {
+    "src/mod.py": "import time\nx = time.time()  # repro-lint: allow[DET001] -- why\n"
+}
+
+
+def test_json_report_schema(lint_tree):
+    report = lint_tree(VIOLATING, {"DET001": {"include": ["**"]}})
+    document = json.loads(render_json(report))
+    assert document["schema"] == REPORT_SCHEMA_VERSION
+    assert document["tool"] == "repro-lint"
+    assert document["files_scanned"] == 1
+    assert document["rules"] == ["DET001"]
+    (entry,) = document["findings"]
+    assert set(entry) == {
+        "rule",
+        "severity",
+        "path",
+        "line",
+        "column",
+        "message",
+        "suppressed",
+        "justification",
+    }
+    assert entry["rule"] == "DET001"
+    assert entry["suppressed"] is False
+    assert document["summary"] == {
+        "active": 1,
+        "suppressed": 0,
+        "by_rule": {"DET001": 1},
+    }
+
+
+def test_json_report_keeps_suppressed_findings_with_justification(lint_tree):
+    report = lint_tree(SUPPRESSED, {"DET001": {"include": ["**"]}})
+    document = json.loads(render_json(report))
+    (entry,) = document["findings"]
+    assert entry["suppressed"] is True
+    assert entry["justification"] == "why"
+    assert document["summary"] == {"active": 0, "suppressed": 1, "by_rule": {}}
+
+
+def test_findings_sorted_deterministically(lint_tree):
+    files = {
+        "src/b.py": "import time\nx = time.time()\ny = time.time()\n",
+        "src/a.py": "import time\nx = time.time()\n",
+    }
+    report = lint_tree(files, {"DET001": {"include": ["**"]}})
+    positions = [(f.path, f.line) for f in report.findings]
+    assert positions == sorted(positions)
+
+
+def test_warning_severity_does_not_fail_the_gate(lint_tree):
+    report = lint_tree(
+        VIOLATING, {"DET001": {"include": ["**"], "severity": "warning"}}
+    )
+    assert len(report.active) == 1
+    assert report.active[0].severity == "warning"
+    assert report.exit_code == 0
+
+
+def test_human_rendering_mentions_rule_and_summary(lint_tree):
+    report = lint_tree(VIOLATING, {"DET001": {"include": ["**"]}})
+    text = render_human(report)
+    assert "src/mod.py:2:" in text
+    assert "DET001" in text
+    assert "1 active finding(s)" in text
+
+
+def test_human_rendering_marks_suppressions(lint_tree):
+    report = lint_tree(SUPPRESSED, {"DET001": {"include": ["**"]}})
+    text = render_human(report)
+    assert "[suppressed (why)]" in text
+    assert "0 active finding(s), 1 suppressed" in text

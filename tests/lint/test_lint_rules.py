@@ -1,0 +1,485 @@
+"""Per-rule fixture snippets: one violating and one clean case minimum.
+
+``RULE_FIXTURES`` is the machine-readable coverage table the meta-test
+in ``test_config.py`` checks against the registry: registering a new
+rule without fixtures here fails the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.engine import PARSE_ERROR_RULE
+from repro.lint.rules import RULES
+
+#: rule id -> (kind, name, files, rule options, expected active count).
+#: ``kind`` is "violating" (count > 0) or "clean" (count == 0).
+RULE_FIXTURES = [
+    # ------------------------------------------------------------- DET001
+    (
+        "DET001",
+        "violating",
+        "wall_clock_call",
+        {
+            "src/mod.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "DET001",
+        "violating",
+        "entropy_and_global_rng",
+        {
+            "src/mod.py": """
+            import os
+            import random
+            import uuid
+
+            def draw():
+                token = os.urandom(8)
+                pick = random.randint(0, 10)
+                tag = uuid.uuid4()
+                return token, pick, tag
+            """
+        },
+        {},
+        3,
+    ),
+    (
+        "DET001",
+        "violating",
+        "aliasing_import",
+        {
+            "src/mod.py": """
+            from time import monotonic
+
+            def now():
+                return monotonic()
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "DET001",
+        "violating",
+        "datetime_now",
+        {
+            "src/mod.py": """
+            import datetime
+
+            def today():
+                return datetime.datetime.now()
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "DET001",
+        "clean",
+        "seeded_rng",
+        {
+            "src/mod.py": """
+            import random
+
+            def draw(seed):
+                rng = random.Random(seed)
+                return rng.random(), rng.randint(0, 10)
+            """
+        },
+        {},
+        0,
+    ),
+    # ------------------------------------------------------------- DET002
+    (
+        "DET002",
+        "violating",
+        "unsorted_items_loop",
+        {
+            "src/mod.py": """
+            def drain(pending):
+                for key, value in pending.items():
+                    yield key, value
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "DET002",
+        "violating",
+        "set_literal_and_builtin_id",
+        {
+            "src/mod.py": """
+            def order(x, y):
+                for pid in {x, y}:
+                    print(pid)
+                return id(x), hash(y)
+            """
+        },
+        {},
+        3,
+    ),
+    (
+        "DET002",
+        "violating",
+        "materialized_view",
+        {
+            "src/mod.py": """
+            def snapshot(state):
+                return tuple(state.keys())
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "DET002",
+        "violating",
+        "dict_comprehension",
+        {
+            "src/mod.py": """
+            def copy(state):
+                return [v for v in state.values()]
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "DET002",
+        "clean",
+        "sorted_and_commutative",
+        {
+            "src/mod.py": """
+            def drain(pending):
+                total = sum(len(q) for q in pending.values())
+                alive = any(q for q in pending.values())
+                for key in sorted(pending):
+                    yield key, total, alive
+                return tuple(sorted(set(pending)))
+            """
+        },
+        {},
+        0,
+    ),
+    # ------------------------------------------------------------- SIO001
+    (
+        "SIO001",
+        "violating",
+        "asyncio_import",
+        {
+            "src/mod.py": """
+            import asyncio
+
+            def run(coro):
+                return asyncio.get_event_loop().run_until_complete(coro)
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "SIO001",
+        "violating",
+        "from_imports",
+        {
+            "src/mod.py": """
+            from time import sleep
+            from threading import Lock
+            import socket
+            """
+        },
+        {},
+        3,
+    ),
+    (
+        "SIO001",
+        "clean",
+        "pure_protocol",
+        {
+            "src/mod.py": """
+            import math
+            from dataclasses import dataclass
+
+            def quorum(n, f):
+                return math.ceil((n + f + 1) / 2)
+            """
+        },
+        {},
+        0,
+    ),
+    # ------------------------------------------------------------- HSH001
+    (
+        "HSH001",
+        "violating",
+        "unregistered_default",
+        {
+            "src/mod.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Spec:
+                old_field: int = 0
+                new_field: int = 7
+
+                _HASH_SUPPRESS_DEFAULTS = {"old_field": 0}
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "HSH001",
+        "violating",
+        "suppress_key_names_no_field",
+        {
+            "src/mod.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Spec:
+                value: int = 0
+
+                _HASH_SUPPRESS_DEFAULTS = {"value": 0, "ghost": None}
+            """
+        },
+        {},
+        1,
+    ),
+    (
+        "HSH001",
+        "clean",
+        "registered_or_grandfathered",
+        {
+            "src/mod.py": """
+            from dataclasses import dataclass, field
+
+            @dataclass(frozen=True)
+            class Spec:
+                legacy: int = 0
+                required: str
+                suppressed: tuple = field(default_factory=tuple)
+
+                _HASH_SUPPRESS_DEFAULTS = {"suppressed": []}
+            """
+        },
+        {"known_fields": {"Spec": ["legacy"]}},
+        0,
+    ),
+    (
+        "HSH001",
+        "clean",
+        "class_without_mapping_ignored",
+        {
+            "src/mod.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class Plain:
+                anything: int = 3
+            """
+        },
+        {},
+        0,
+    ),
+    # ------------------------------------------------------------- SLT001
+    (
+        "SLT001",
+        "violating",
+        "missing_slots",
+        {
+            "src/mod.py": """
+            class Hot:
+                def __init__(self):
+                    self.a = 1
+            """
+        },
+        {"classes": {"src/mod.py::Hot": []}},
+        1,
+    ),
+    (
+        "SLT001",
+        "violating",
+        "uncovered_attribute",
+        {
+            "src/mod.py": """
+            class Hot:
+                __slots__ = ("a",)
+
+                def __init__(self):
+                    self.a = 1
+
+                def warm(self):
+                    self.cache = {}
+            """
+        },
+        {"classes": {"src/mod.py::Hot": []}},
+        1,
+    ),
+    (
+        "SLT001",
+        "violating",
+        "registered_class_gone",
+        {
+            "src/mod.py": """
+            class Other:
+                pass
+            """
+        },
+        {"classes": {"src/mod.py::Hot": []}},
+        1,
+    ),
+    (
+        "SLT001",
+        "clean",
+        "covering_slots_and_inheritance",
+        {
+            "src/mod.py": """
+            class Hot:
+                __slots__ = ("a", "b")
+
+                def __init__(self):
+                    self.a = 1
+                    self.b = 2
+                    self.base = 0
+            """
+        },
+        {"classes": {"src/mod.py::Hot": ["base"]}},
+        0,
+    ),
+    (
+        "SLT001",
+        "clean",
+        "dataclass_slots",
+        {
+            "src/mod.py": """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True, slots=True)
+            class Hot:
+                kind: str
+                time_ms: float = 0.0
+            """
+        },
+        {"classes": {"src/mod.py::Hot": []}},
+        0,
+    ),
+    # ------------------------------------------------------------- WIR001
+    (
+        "WIR001",
+        "violating",
+        "pin_mismatch",
+        {"src/mod.py": "WIRE_VERSION = 4\n"},
+        {"constants": {"WIRE_VERSION": {"module": "src/mod.py", "value": 3}}},
+        1,
+    ),
+    (
+        "WIR001",
+        "violating",
+        "redefined_elsewhere",
+        {
+            "src/mod.py": "WIRE_VERSION = 3\n",
+            "src/other.py": "WIRE_VERSION = 3\n",
+        },
+        {"constants": {"WIRE_VERSION": {"module": "src/mod.py", "value": 3}}},
+        1,
+    ),
+    (
+        "WIR001",
+        "violating",
+        "missing_definition",
+        {"src/mod.py": "OTHER = 1\n"},
+        {"constants": {"WIRE_VERSION": {"module": "src/mod.py", "value": 3}}},
+        1,
+    ),
+    (
+        "WIR001",
+        "violating",
+        "stray_literals",
+        {
+            "src/other.py": """
+            def emit(encode):
+                record = {"schema": 2}
+                return encode(version=7), record
+            """
+        },
+        {"constants": {}},
+        2,
+    ),
+    (
+        "WIR001",
+        "clean",
+        "single_sourced",
+        {
+            "src/mod.py": "WIRE_VERSION = 3\n",
+            "src/other.py": """
+            from mod import WIRE_VERSION
+
+            def emit(encode):
+                record = {"schema": WIRE_VERSION}
+                return encode(version=WIRE_VERSION), record
+            """,
+        },
+        {"constants": {"WIRE_VERSION": {"module": "src/mod.py", "value": 3}}},
+        0,
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id, kind, name, files, options, expected",
+    RULE_FIXTURES,
+    ids=[f"{rule}-{kind}-{name}" for rule, kind, name, _, _, _ in RULE_FIXTURES],
+)
+def test_rule_fixture(lint_tree, rule_id, kind, name, files, options, expected):
+    report = lint_tree(files, {rule_id: {"include": ["**"], **options}})
+    active = [f for f in report.active if f.rule == rule_id]
+    assert len(active) == expected, [f.message for f in report.active]
+    if kind == "violating":
+        assert expected > 0 and report.exit_code == 1
+    else:
+        assert expected == 0 and report.exit_code == 0
+
+
+def test_findings_carry_rule_and_position(lint_tree):
+    report = lint_tree(
+        {"src/mod.py": "import time\n\nx = time.time()\n"},
+        {"DET001": {"include": ["**"]}},
+    )
+    (finding,) = report.active
+    assert finding.rule == "DET001"
+    assert finding.path == "src/mod.py"
+    assert finding.line == 3
+    assert "time.time" in finding.message
+
+
+def test_scoping_excludes_runtime_layer(lint_tree):
+    files = {
+        "src/proto.py": "import time\nx = time.monotonic()\n",
+        "src/runtime.py": "import time\nx = time.monotonic()\n",
+    }
+    report = lint_tree(
+        files, {"DET001": {"include": ["**"], "exclude": ["src/runtime.py"]}}
+    )
+    assert [f.path for f in report.active] == ["src/proto.py"]
+
+
+def test_syntax_error_fails_the_gate(lint_tree):
+    report = lint_tree(
+        {"src/broken.py": "def f(:\n"}, {"DET001": {"include": ["**"]}}
+    )
+    (finding,) = report.active
+    assert finding.rule == PARSE_ERROR_RULE
+    assert report.exit_code == 1
+
+
+def test_every_fixture_rule_is_registered():
+    assert {case[0] for case in RULE_FIXTURES} <= set(RULES)

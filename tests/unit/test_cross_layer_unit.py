@@ -5,10 +5,8 @@ inspect the wire messages it produces, to check the field-level effects of
 MBD.1, MBD.2, MBD.3/4, MBD.5, MBD.11 and MBD.12.
 """
 
-import pytest
-
 from repro.core.config import SystemConfig
-from repro.core.events import BRBDeliver, sends
+from repro.core.events import sends
 from repro.core.messages import CrossLayerMessage, MessageType
 from repro.core.modifications import ModificationSet
 from repro.brb.optimized import CrossLayerBrachaDolev

@@ -1,9 +1,8 @@
 """Unit tests for the Dolev disseminator and the MD.1–5 optimizations."""
 
-import pytest
 
 from repro.core.config import SystemConfig
-from repro.core.events import RCDeliver, sends
+from repro.core.events import RCDeliver
 from repro.core.messages import BrachaMessage, DolevMessage, MessageType
 from repro.core.modifications import ModificationSet
 from repro.brb.dolev import (

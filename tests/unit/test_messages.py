@@ -1,6 +1,5 @@
 """Unit tests for the message wire formats and Table 3 size accounting."""
 
-import pytest
 
 from repro.core.messages import (
     BrachaMessage,

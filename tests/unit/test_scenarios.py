@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.errors import ConfigurationError
-from repro.core.modifications import ModificationSet
 from repro.scenarios import (
     AdversarySpec,
     CrashAt,

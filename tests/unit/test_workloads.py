@@ -14,7 +14,6 @@ import pytest
 from repro.core.errors import ConfigurationError
 from repro.metrics.collector import MetricsCollector
 from repro.scenarios import (
-    AdversarySpec,
     AsyncioBackend,
     BroadcastSpec,
     CrashAt,
