@@ -106,6 +106,25 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--behaviour-fraction",
+        type=float,
+        default=0.2,
+        help=(
+            "fraction of cells forced to carry one of the extended "
+            "taxonomy behaviours (alter_sender, send_empty, "
+            "limited_broadcast, truncate_path)"
+        ),
+    )
+    parser.add_argument(
+        "--churn-fraction",
+        type=float,
+        default=0.15,
+        help=(
+            "fraction of cells decorated with one membership-churn "
+            "fault (join, leave, link rewire)"
+        ),
+    )
+    parser.add_argument(
         "--transient-cap",
         type=int,
         default=None,
@@ -216,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         shrink=not args.no_shrink,
         workload_fraction=args.workload_fraction,
         rco_fraction=args.rco_fraction,
+        behaviour_fraction=args.behaviour_fraction,
+        churn_fraction=args.churn_fraction,
         transient_cap=transient_cap,
     )
     report = farm.run(time_budget_s=args.time_budget, max_cells=args.max_cells)

@@ -157,6 +157,13 @@ class FuzzFarm:
         divergences via the cross-backend evaluator).
     rco_fraction:
         Fraction of cells restacked onto the causal-order wrapper.
+    behaviour_fraction:
+        Fraction of cells forced to carry one of the extended taxonomy
+        behaviours (alter_sender / send_empty / limited_broadcast /
+        truncate_path).
+    churn_fraction:
+        Fraction of cells decorated with one membership-churn fault
+        (join / leave / link rewire).
     transient_cap:
         Per-category retention cap applied to the transient corpus
         tiers (near-f-bound, latency outliers) after each run, so the
@@ -184,6 +191,8 @@ class FuzzFarm:
         batch_size: int = DEFAULT_BATCH_SIZE,
         workload_fraction: float = 0.25,
         rco_fraction: float = 0.15,
+        behaviour_fraction: float = 0.2,
+        churn_fraction: float = 0.15,
         transient_cap: Optional[int] = DEFAULT_TRANSIENT_CAP,
         latency_outlier_factor: float = 4.0,
         latency_warmup: int = 24,
@@ -201,6 +210,8 @@ class FuzzFarm:
         self.batch_size = batch_size
         self.workload_fraction = workload_fraction
         self.rco_fraction = rco_fraction
+        self.behaviour_fraction = behaviour_fraction
+        self.churn_fraction = churn_fraction
         self.transient_cap = transient_cap
         self.latency_outlier_factor = latency_outlier_factor
         self.latency_warmup = latency_warmup
@@ -235,6 +246,8 @@ class FuzzFarm:
             backends=self.backends,
             workload_fraction=self.workload_fraction,
             rco_fraction=self.rco_fraction,
+            behaviour_fraction=self.behaviour_fraction,
+            churn_fraction=self.churn_fraction,
         )
         if hasattr(self.executor, "run_stream"):
             for item in self.executor.run_stream(

@@ -18,8 +18,9 @@ import random
 from dataclasses import replace
 from typing import Iterator, Sequence
 
+from repro.scenarios.faults import JoinAt, LeaveAt, RewireLinkAt, TurnByzantineWhen
 from repro.scenarios.oracle import sample_lossy_adaptive_specs
-from repro.scenarios.spec import ScenarioSpec, WorkloadSpec
+from repro.scenarios.spec import AdversarySpec, ScenarioSpec, WorkloadSpec
 
 #: Cells drawn per sampler round (one derived seed each round).
 BATCH_SIZE = 32
@@ -27,6 +28,15 @@ BATCH_SIZE = 32
 #: Mixing constant separating the per-round decoration RNG from the
 #: sampler's own seed stream.
 _DECORATION_SALT = 0x5EEDF022
+
+#: The attacker-taxonomy behaviours beyond the original four, which the
+#: ``behaviour_fraction`` decoration forces into a cell.
+_EXTENDED_BEHAVIOURS = (
+    "alter_sender",
+    "send_empty",
+    "limited_broadcast",
+    "truncate_path",
+)
 
 
 def _with_random_workload(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpec:
@@ -59,6 +69,72 @@ def _as_rco_cell(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpec:
     return spec
 
 
+def _with_extended_behaviour(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpec:
+    """Force one of the extended taxonomy behaviours into ``spec``.
+
+    Adds a one-process static adversary when the ``f`` budget has room
+    (static placements plus adaptive conversions both count), otherwise
+    swaps the behaviour of an existing non-equivocate placement; a cell
+    with no room and no swappable placement is returned unchanged.
+    """
+    behaviour = rng.choice(_EXTENDED_BEHAVIOURS)
+    converted = {
+        fault.pid for fault in spec.adaptive if isinstance(fault, TurnByzantineWhen)
+    }
+    used = sum(adversary.count for adversary in spec.adversaries) + len(converted)
+    if spec.f - used >= 1:
+        return replace(
+            spec,
+            adversaries=spec.adversaries
+            + (AdversarySpec(behaviour=behaviour, count=1),),
+        )
+    swappable = [
+        index
+        for index, adversary in enumerate(spec.adversaries)
+        if adversary.behaviour != "equivocate"
+    ]
+    if swappable:
+        index = rng.choice(swappable)
+        adversaries = list(spec.adversaries)
+        adversaries[index] = replace(adversaries[index], behaviour=behaviour)
+        return replace(spec, adversaries=tuple(adversaries))
+    return spec
+
+
+def _with_churn(spec: ScenarioSpec, rng: random.Random) -> ScenarioSpec:
+    """Attach one membership-churn fault to ``spec`` (seed-driven).
+
+    Joins, leaves and link rewires over the non-source pids; a rewire
+    needs a non-neighbor to rewire toward, so fully connected cells fall
+    back to a leave.  Churn never targets the pinned source pid 0 — an
+    absent source is a degenerate cell the static crash axis already
+    covers.
+    """
+    n = spec.topology.node_count
+    if n < 3:
+        return spec
+    pid = rng.randint(1, n - 1)
+    draw = rng.random()
+    if draw < 0.4:
+        fault = JoinAt(pid=pid, time_ms=rng.choice((0.0, 20.0, 60.0)))
+    elif draw < 0.75:
+        fault = LeaveAt(pid=pid, time_ms=rng.choice((10.0, 40.0)))
+    else:
+        topology = spec.topology.build(spec.seed)
+        neighbors = sorted(topology.neighbors(pid))
+        candidates = sorted(set(topology.nodes) - set(neighbors) - {pid})
+        if not neighbors or not candidates:
+            fault = LeaveAt(pid=pid, time_ms=20.0)
+        else:
+            fault = RewireLinkAt(
+                pid=pid,
+                old_peer=rng.choice(neighbors),
+                new_peer=rng.choice(candidates),
+                time_ms=rng.choice((10.0, 30.0)),
+            )
+    return replace(spec, faults=spec.faults + (fault,))
+
+
 def stream_fuzz_specs(
     *,
     seed: int = 0,
@@ -67,6 +143,8 @@ def stream_fuzz_specs(
     batch_size: int = BATCH_SIZE,
     workload_fraction: float = 0.25,
     rco_fraction: float = 0.15,
+    behaviour_fraction: float = 0.2,
+    churn_fraction: float = 0.15,
 ) -> Iterator[ScenarioSpec]:
     """Yield an endless, deterministic stream of fuzz cells.
 
@@ -76,7 +154,12 @@ def stream_fuzz_specs(
     axes; ``rco_fraction`` of the cells are restacked onto the
     causal-order wrapper (``rco_cross_layer``), so the pending-set
     delivery rule is fuzzed under the same loss/adaptive adversaries as
-    the bare protocol.  The caller bounds consumption — typically via
+    the bare protocol; ``behaviour_fraction`` of the cells are forced to
+    carry one of the extended taxonomy behaviours
+    (``alter_sender``/``send_empty``/``limited_broadcast``/
+    ``truncate_path``); ``churn_fraction`` of the cells gain one
+    membership-churn fault (join/leave/link rewire).  The caller bounds
+    consumption — typically via
     :meth:`~repro.runner.parallel.SweepExecutor.run_stream` budgets.
     """
     backends = tuple(backends)
@@ -98,6 +181,10 @@ def stream_fuzz_specs(
                 spec = _with_random_workload(spec, rng)
             if rng.random() < rco_fraction:
                 spec = _as_rco_cell(spec, rng)
+            if rng.random() < behaviour_fraction:
+                spec = _with_extended_behaviour(spec, rng)
+            if rng.random() < churn_fraction:
+                spec = _with_churn(spec, rng)
             yield spec
         round_index += 1
 

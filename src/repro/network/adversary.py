@@ -12,14 +12,23 @@ the correct protocols so they can be plugged into either runtime:
   each outgoing message with some probability.
 * :class:`PathForgingRelay` — relays but rewrites the path field of the
   messages it forwards with fabricated process identifiers.
+* :class:`PathTruncatingRelay` — relays but *truncates* the path field,
+  claiming the content travelled more directly than it did.
+* :class:`SenderRewritingRelay` — relays but rewrites the ``source``
+  identity of the messages it forwards.
+* :class:`EmptyPayloadRelay` — relays envelopes with emptied payloads.
+* :class:`LimitedBroadcastRelay` — relays only to a seed-deterministic
+  strict subset of its neighbors, starving the rest.
 * :class:`EquivocatingSource` — broadcasts conflicting payloads to
   different neighbors (the attack BRB-Agreement defends against).
 """
 
 from __future__ import annotations
 
+import hashlib
 import random
-from typing import Any, List, Optional, Sequence, Tuple
+from dataclasses import replace
+from typing import Any, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.config import SystemConfig
 from repro.core.events import Command, SendTo
@@ -91,10 +100,10 @@ class CrashingProcess(ByzantineBehavior):
         self._handled += 1
         commands = self.inner.on_message(sender, message)
         if self.crashed:
-            # The process crashes *while* handling this message: it may have
-            # sent a prefix of its outgoing messages.
-            keep = max(0, len(commands) // 2)
-            return commands[:keep]
+            # The process crashes *while* handling this message: it gets the
+            # first half (floor) of its outgoing commands onto the wire, then
+            # stops for good.
+            return commands[: len(commands) // 2]
         return commands
 
 
@@ -177,14 +186,217 @@ class PathForgingRelay(ByzantineBehavior):
         return self._mutate(self.inner.on_message(sender, message))
 
 
+class PathTruncatingRelay(ByzantineBehavior):
+    """Relays messages but *truncates* their path field to a shorter prefix.
+
+    Where :class:`PathForgingRelay` fabricates identifiers, this variant
+    lies by omission: it claims the content travelled more directly than
+    it did, trying to make one route look like several short disjoint
+    ones.  A correct verifier still requires ``f + 1`` genuinely disjoint
+    paths, so a single truncating relay must not enable forgery.
+    """
+
+    def __init__(self, inner, seed: int = 0) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        self.inner = inner
+        self._rng = random.Random(seed)
+        self.truncated = 0
+
+    def _truncate(self, path: Tuple[int, ...]) -> Tuple[int, ...]:
+        if not path:
+            return path
+        keep = self._rng.randint(0, len(path) - 1)
+        self.truncated += 1
+        return path[:keep]
+
+    def _mutate(self, commands: List[Command]) -> List[Command]:
+        mutated: List[Command] = []
+        for command in commands:
+            if isinstance(command, SendTo):
+                message = command.message
+                if isinstance(message, DolevMessage):
+                    message = DolevMessage(
+                        content=message.content, path=self._truncate(message.path)
+                    )
+                elif isinstance(message, CrossLayerMessage) and message.path is not None:
+                    message = message.with_fields(path=self._truncate(message.path))
+                mutated.append(SendTo(dest=command.dest, message=message))
+            else:
+                mutated.append(command)
+        return mutated
+
+    def on_start(self) -> List[Command]:
+        return self._mutate(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return self._mutate(self.inner.broadcast(payload, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._mutate(self.inner.on_message(sender, message))
+
+
+class SenderRewritingRelay(ByzantineBehavior):
+    """Relays messages but rewrites their ``source`` identity.
+
+    Every relayed message that names a broadcast originator is rewritten
+    to claim a different (seed-deterministically chosen) process
+    originated it.  No-forgery requires that correct processes never
+    deliver a broadcast the named source did not schedule, so the quorum
+    and disjoint-path machinery must neutralize this relay.
+    """
+
+    def __init__(self, inner, config: SystemConfig, seed: int = 0) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        self.inner = inner
+        self.config = config
+        self._rng = random.Random(seed)
+        self.rewritten = 0
+
+    def _fake_source(self, original: Optional[int]) -> int:
+        candidates = [p for p in self.config.processes if p != original]
+        self.rewritten += 1
+        return self._rng.choice(candidates)
+
+    def _rewrite(self, message: Any) -> Any:
+        if isinstance(message, BrachaMessage):
+            return replace(message, source=self._fake_source(message.source))
+        if isinstance(message, DolevMessage) and isinstance(message.content, BrachaMessage):
+            content = replace(
+                message.content, source=self._fake_source(message.content.source)
+            )
+            return DolevMessage(content=content, path=message.path)
+        if isinstance(message, CrossLayerMessage) and message.source is not None:
+            return message.with_fields(source=self._fake_source(message.source))
+        return message
+
+    def _mutate(self, commands: List[Command]) -> List[Command]:
+        mutated: List[Command] = []
+        for command in commands:
+            if isinstance(command, SendTo):
+                mutated.append(SendTo(dest=command.dest, message=self._rewrite(command.message)))
+            else:
+                mutated.append(command)
+        return mutated
+
+    def on_start(self) -> List[Command]:
+        return self._mutate(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return self._mutate(self.inner.broadcast(payload, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._mutate(self.inner.on_message(sender, message))
+
+
+class EmptyPayloadRelay(ByzantineBehavior):
+    """Relays envelopes but empties the payloads they carry.
+
+    Correct processes must not deliver the emptied payload for the
+    genuine ``(source, bid)``: agreement would be violated if some
+    processes delivered the original bytes and others the empty ones.
+    """
+
+    def __init__(self, inner) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        self.inner = inner
+        self.emptied = 0
+
+    def _strip(self, message: Any) -> Any:
+        if isinstance(message, BrachaMessage):
+            if message.payload:
+                self.emptied += 1
+                return replace(message, payload=b"")
+            return message
+        if isinstance(message, DolevMessage):
+            content = message.content
+            if isinstance(content, BrachaMessage):
+                if content.payload:
+                    self.emptied += 1
+                    return DolevMessage(
+                        content=replace(content, payload=b""), path=message.path
+                    )
+                return message
+            if isinstance(content, bytes) and content:
+                self.emptied += 1
+                return DolevMessage(content=b"", path=message.path)
+            return message
+        if isinstance(message, CrossLayerMessage) and message.payload:
+            self.emptied += 1
+            return message.with_fields(payload=b"")
+        return message
+
+    def _mutate(self, commands: List[Command]) -> List[Command]:
+        mutated: List[Command] = []
+        for command in commands:
+            if isinstance(command, SendTo):
+                mutated.append(SendTo(dest=command.dest, message=self._strip(command.message)))
+            else:
+                mutated.append(command)
+        return mutated
+
+    def on_start(self) -> List[Command]:
+        return self._mutate(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return self._mutate(self.inner.broadcast(payload, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._mutate(self.inner.on_message(sender, message))
+
+
+class LimitedBroadcastRelay(ByzantineBehavior):
+    """Relays only to a seed-deterministic strict subset of its neighbors.
+
+    At construction a non-empty strict subset of the neighbor set is
+    drawn from ``seed`` (for degree <= 1 there is no strict subset to
+    draw, so the single neighbor is kept); every send targeting a
+    neighbor outside the subset is silently suppressed.  This starves a
+    deterministic part of the network of this relay's traffic, attacking
+    totality through selective silence rather than outright muteness.
+    """
+
+    def __init__(self, inner, seed: int = 0) -> None:
+        super().__init__(inner.process_id, inner.neighbors)
+        self.inner = inner
+        rng = random.Random(seed)
+        if len(self.neighbors) > 1:
+            keep = rng.randint(1, len(self.neighbors) - 1)
+            self.targets: FrozenSet[int] = frozenset(rng.sample(self.neighbors, keep))
+        else:
+            self.targets = frozenset(self.neighbors)
+        self.suppressed = 0
+
+    def _filter(self, commands: List[Command]) -> List[Command]:
+        kept: List[Command] = []
+        for command in commands:
+            if isinstance(command, SendTo) and command.dest not in self.targets:
+                self.suppressed += 1
+                continue
+            kept.append(command)
+        return kept
+
+    def on_start(self) -> List[Command]:
+        return self._filter(self.inner.on_start())
+
+    def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
+        return self._filter(self.inner.broadcast(payload, bid))
+
+    def on_message(self, sender: int, message: Any) -> List[Command]:
+        return self._filter(self.inner.on_message(sender, message))
+
+
 class EquivocatingSource(ByzantineBehavior):
     """A Byzantine source that sends conflicting payloads to its neighbors.
 
-    Half of the neighbors receive ``payload`` and the other half receive
-    ``conflicting_payload`` for the same ``(source, bid)``.  BRB-Agreement
-    requires that correct processes either all deliver the same payload or
-    none delivers; the reliable-communication layer alone does not prevent
-    a split, which is what the integration tests check.
+    The first ``ceil(degree / 2)`` neighbors receive ``payload`` and the
+    remaining ``floor(degree / 2)`` receive ``conflicting_payload`` for
+    the same ``(source, bid)``, so both payloads are on the wire whenever
+    the source has at least two neighbors.  With a single neighbor no
+    split is possible; the lone neighbor deterministically receives the
+    genuine ``payload``.  BRB-Agreement requires that correct processes
+    either all deliver the same payload or none delivers; the
+    reliable-communication layer alone does not prevent a split, which is
+    what the integration tests check.
 
     Parameters
     ----------
@@ -192,6 +404,11 @@ class EquivocatingSource(ByzantineBehavior):
         Which message format to craft: ``"bracha"`` (plain Bracha on a
         fully connected network), ``"bracha_dolev"`` (layered combination)
         or ``"cross_layer"`` (the optimized protocol).
+    conflicting_payload:
+        The second payload to send.  When omitted, a deterministic
+        conflicting payload is derived from the genuine payload (and the
+        ``seed``, when non-zero, so grid equivocators do not all tell the
+        same lie).
     """
 
     def __init__(
@@ -201,12 +418,24 @@ class EquivocatingSource(ByzantineBehavior):
         *,
         family: str = "cross_layer",
         conflicting_payload: Optional[bytes] = None,
+        seed: int = 0,
     ) -> None:
         super().__init__(process_id, neighbors)
         if family not in ("bracha", "bracha_dolev", "cross_layer"):
             raise ValueError(f"unknown protocol family: {family}")
         self.family = family
         self.conflicting_payload = conflicting_payload
+        self.seed = seed
+
+    def _derive_conflicting(self, payload: bytes) -> bytes:
+        if self.seed == 0:
+            return bytes(reversed(payload)) if payload else b"\x01"
+        digest = hashlib.sha256(b"repro-equivocate-%d" % self.seed + payload).digest()
+        length = max(1, len(payload))
+        other = (digest * (length // len(digest) + 1))[:length]
+        if other == payload:  # astronomically unlikely, but must never collide
+            other = bytes((other[0] ^ 0x01,)) + other[1:]
+        return other
 
     def _craft_send(self, payload: bytes, bid: int) -> Any:
         if self.family == "bracha":
@@ -234,9 +463,16 @@ class EquivocatingSource(ByzantineBehavior):
     def broadcast(self, payload: bytes, bid: int = 0) -> List[Command]:
         other = self.conflicting_payload
         if other is None:
-            other = bytes(reversed(payload)) if payload else b"\x01"
+            other = self._derive_conflicting(payload)
+        if len(self.neighbors) == 1:
+            # No split is possible with a single witness: send the genuine
+            # payload so the equivocator degenerates to a correct source.
+            return [SendTo(dest=self.neighbors[0], message=self._craft_send(payload, bid))]
         commands: List[Command] = []
-        half = len(self.neighbors) // 2
+        # Ceil/floor split: the genuine payload goes to the first
+        # ceil(n/2) neighbors, the conflicting one to the remaining
+        # floor(n/2) — both non-empty for every degree >= 2.
+        half = (len(self.neighbors) + 1) // 2
         for index, neighbor in enumerate(self.neighbors):
             chosen = payload if index < half else other
             commands.append(SendTo(dest=neighbor, message=self._craft_send(chosen, bid)))
@@ -244,8 +480,19 @@ class EquivocatingSource(ByzantineBehavior):
 
 
 #: Behaviour names accepted by :func:`build_behaviour` (and therefore by
-#: the experiment runner and the scenario engine).
-BEHAVIOUR_NAMES: Tuple[str, ...] = ("mute", "drop", "forge", "equivocate")
+#: the experiment runner and the scenario engine).  Append-only: the
+#: names are scenario-grid values, so reordering would change sampled
+#: fuzz streams for existing seeds.
+BEHAVIOUR_NAMES: Tuple[str, ...] = (
+    "mute",
+    "drop",
+    "forge",
+    "equivocate",
+    "alter_sender",
+    "send_empty",
+    "limited_broadcast",
+    "truncate_path",
+)
 
 
 def build_behaviour(
@@ -258,13 +505,14 @@ def build_behaviour(
     family: str = "cross_layer",
     seed: int = 0,
     drop_probability: float = 0.5,
+    conflicting_payload: Optional[bytes] = None,
 ):
     """Build one named Byzantine behaviour for process ``process_id``.
 
     ``inner_factory`` is a zero-argument callable returning a *correct*
     protocol instance for the process; it is only invoked for behaviours
-    that wrap a correct protocol (``"drop"`` and ``"forge"``).  This is
-    the single construction path shared by the experiment runner and the
+    that wrap a correct protocol (every relay variant).  This is the
+    single construction path shared by the experiment runner and the
     scenario engine, so a behaviour name means the same thing everywhere.
     """
     if behaviour == "mute":
@@ -276,7 +524,21 @@ def build_behaviour(
     if behaviour == "forge":
         return PathForgingRelay(inner_factory(), system, seed=seed)
     if behaviour == "equivocate":
-        return EquivocatingSource(process_id, neighbors, family=family)
+        return EquivocatingSource(
+            process_id,
+            neighbors,
+            family=family,
+            conflicting_payload=conflicting_payload,
+            seed=seed,
+        )
+    if behaviour == "alter_sender":
+        return SenderRewritingRelay(inner_factory(), system, seed=seed)
+    if behaviour == "send_empty":
+        return EmptyPayloadRelay(inner_factory())
+    if behaviour == "limited_broadcast":
+        return LimitedBroadcastRelay(inner_factory(), seed=seed)
+    if behaviour == "truncate_path":
+        return PathTruncatingRelay(inner_factory(), seed=seed)
     raise ValueError(f"unknown Byzantine behaviour: {behaviour}")
 
 
@@ -286,6 +548,10 @@ __all__ = [
     "CrashingProcess",
     "MessageDroppingRelay",
     "PathForgingRelay",
+    "PathTruncatingRelay",
+    "SenderRewritingRelay",
+    "EmptyPayloadRelay",
+    "LimitedBroadcastRelay",
     "EquivocatingSource",
     "BEHAVIOUR_NAMES",
     "build_behaviour",

@@ -76,6 +76,9 @@ class AsyncioCluster:
         self._pending_actions: List[Tuple[float, Callable[[], None]]] = []
         self._timers: List[asyncio.TimerHandle] = []
         self._action_tasks: List[asyncio.Task] = []
+        # pid -> actual listening port, filled by start(); churn rewires
+        # need it to dial new links mid-run.
+        self._port_map: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -90,6 +93,7 @@ class AsyncioCluster:
         for node in self.nodes.values():
             await node.start()
         port_map = {pid: node.port for pid, node in self.nodes.items()}
+        self._port_map = port_map
         await asyncio.gather(
             *(node.connect_neighbors(port_map) for node in self.nodes.values())
         )
@@ -156,6 +160,62 @@ class AsyncioCluster:
         node.delay_start()
         self._pending_actions.append(
             (wake_s, lambda: self._spawn(node.wake()))
+        )
+
+    def join_at(self, pid: int, wake_s: float) -> None:
+        """Process ``pid`` joins ``wake_s`` seconds after the epoch.
+
+        Until then the node is a drop-dormant non-member: inbound
+        messages are lost (the simulator's JoinAt semantics), and the
+        ``on_start`` hook runs at the join instead of cluster start.
+        """
+        node = self._node(pid)
+        node.join_late()
+        self._pending_actions.append((wake_s, lambda: self._spawn(node.wake())))
+
+    def leave(self, pid: int) -> None:
+        """Process ``pid`` leaves now: fail-silent plus link teardown.
+
+        Every ``{pid, peer}`` channel is severed on both endpoints, so
+        later sends toward the departed process are lost on a missing
+        channel rather than reaching a dead inbox.
+        """
+        node = self._node(pid)
+        node.crash()
+        for peer in self.topology.neighbors(pid):
+            node.disconnect_peer(peer)
+            self.nodes[peer].disconnect_peer(pid)
+
+    def schedule_leave(self, pid: int, at_s: float) -> None:
+        """Have ``pid`` leave ``at_s`` seconds after the epoch opens."""
+        self._node(pid)
+        self._pending_actions.append((at_s, lambda: self.leave(pid)))
+
+    async def rewire_link(self, pid: int, old_peer: int, new_peer: int) -> None:
+        """Replace the ``{pid, old_peer}`` channel with ``{pid, new_peer}``.
+
+        The old channel is severed on both endpoints; both ends of the
+        new link accept each other and ``pid`` dials ``new_peer`` using
+        the port map exchanged at startup.
+        """
+        self._node(pid).disconnect_peer(old_peer)
+        self._node(old_peer).disconnect_peer(pid)
+        self._node(pid).allow_peer(new_peer)
+        self._node(new_peer).allow_peer(pid)
+        await self._node(pid).dial_peer(new_peer, self._port_map[new_peer])
+
+    def schedule_rewire(
+        self, pid: int, old_peer: int, new_peer: int, at_s: float
+    ) -> None:
+        """Arm a :meth:`rewire_link` ``at_s`` seconds after the epoch."""
+        if not self.topology.has_edge(pid, old_peer):
+            raise ConfigurationError(
+                f"no link between {pid} and {old_peer} to rewire"
+            )
+        for node in (pid, old_peer, new_peer):
+            self._node(node)
+        self._pending_actions.append(
+            (at_s, lambda: self._spawn(self.rewire_link(pid, old_peer, new_peer)))
         )
 
     def add_loss_filter(self, u: int, v: int, probability: float, seed: int) -> None:

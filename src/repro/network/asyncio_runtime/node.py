@@ -98,8 +98,17 @@ class AsyncioNode:
         # Runtime-action state (see the module docstring).
         self._crashed = False
         self._dormant = False
+        # A join-late (churn) dormancy *drops* inbound messages instead
+        # of buffering them: a late joiner missed the early traffic.
+        self._drop_dormant = False
         self._dormant_buffer: List[Tuple[int, object]] = []
         self._pending_broadcasts: List[Tuple[bytes, int]] = []
+        # Peers whose channel a churn event tore down: outgoing messages
+        # to them are lost, and their redials are rejected.
+        self._severed: Set[int] = set()
+        # Peers granted a channel beyond the declared neighbor set
+        # (RewireLinkAt brings a new link up mid-run).
+        self._extra_peers: Set[int] = set()
         # peer -> [(start_s, end_s)] drop windows, relative to the epoch;
         # end_s is None for a window that never closes.
         self._drop_windows: Dict[int, List[Tuple[float, Optional[float]]]] = {}
@@ -185,8 +194,12 @@ class AsyncioNode:
             writer.close()
             return
         (peer_id,) = _HELLO.unpack(hello)
-        if peer_id not in self.protocol.neighbors:
-            # Only declared neighbors own an authenticated channel.
+        if (
+            peer_id not in self.protocol.neighbors
+            and peer_id not in self._extra_peers
+        ) or peer_id in self._severed:
+            # Only declared neighbors (or rewired-in peers) own an
+            # authenticated channel; severed peers stay disconnected.
             writer.close()
             return
         self._register(peer_id, reader, writer)
@@ -272,6 +285,37 @@ class AsyncioNode:
     def delay_start(self) -> None:
         """Become dormant: buffer inbound messages until :meth:`wake`."""
         self._dormant = True
+
+    def join_late(self) -> None:
+        """Become dormant like a pending joiner: inbound messages are
+        *dropped* (and counted) until :meth:`wake`, not buffered —
+        matching the simulator's JoinAt semantics where a late joiner
+        missed the early traffic."""
+        self._dormant = True
+        self._drop_dormant = True
+
+    def disconnect_peer(self, peer: int) -> None:
+        """Tear the channel to ``peer`` down (churn link removal).
+
+        Outgoing messages to a severed peer are lost (counted in
+        :attr:`dropped_messages`) and its redials are rejected, mirroring
+        the simulator dropping sends on a removed edge.
+        """
+        self._severed.add(peer)
+        writer = self._writers.pop(peer, None)
+        if writer is not None:
+            writer.close()
+
+    def allow_peer(self, peer: int) -> None:
+        """Accept a channel to ``peer`` beyond the declared neighbor set
+        (a rewired-in link)."""
+        self._severed.discard(peer)
+        self._extra_peers.add(peer)
+
+    async def dial_peer(self, peer: int, port: int) -> None:
+        """Dial ``peer`` on ``port`` mid-run (bringing a rewired link up)."""
+        self._severed.discard(peer)
+        await self._dial(peer, port)
 
     def add_drop_window(
         self, peer: int, start_s: float, end_s: Optional[float] = None
@@ -361,6 +405,7 @@ class AsyncioNode:
         """
         if self._crashed or not self._dormant:
             return
+        self._drop_dormant = False
         hook = getattr(self.protocol, "on_start", None)
         if hook is not None:
             async with self._lock:
@@ -414,6 +459,11 @@ class AsyncioNode:
         if self._crashed:
             return
         if self._dormant:
+            if self._drop_dormant:
+                # A pending joiner is not a member yet: the message is
+                # lost, not queued for later.
+                self.dropped_messages += 1
+                return
             self._dormant_buffer.append((peer_id, message))
             return
         async with self._lock:
@@ -485,7 +535,7 @@ class AsyncioNode:
             self.collector.record_send(
                 self._elapsed_s() * 1000.0, self.process_id, dest, message
             )
-        dropped = self.link_dropped(dest)
+        dropped = self.link_dropped(dest) or dest in self._severed
         if dropped:
             self.dropped_messages += 1
         else:

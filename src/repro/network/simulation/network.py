@@ -144,6 +144,14 @@ class SimulatedNetwork:
         # buffered for them while they are dormant.
         self._start_times: Dict[int, float] = {}
         self._dormant_buffers: Dict[int, List[Tuple[int, object]]] = {}
+        # Membership churn state.  ``_churn`` flips once a live graph
+        # edit (leave/rewire) happens: sends onto a severed channel are
+        # then counted as losses instead of raising, while the
+        # no-channel RuntimeAbort stays a bug detector for static runs.
+        self._unjoined: set = set()
+        self._join_times: Dict[int, float] = {}
+        self._departed: set = set()
+        self._churn = False
 
     # ------------------------------------------------------------------
     # Control
@@ -210,6 +218,113 @@ class SimulatedNetwork:
             raise ConfigurationError(f"start time must be non-negative, got {time_ms}")
         self._start_times[pid] = time_ms
 
+    # -- membership churn ----------------------------------------------
+    def _materialize_adjacency(self) -> None:
+        """Swap the zero-copy topology alias for a mutable per-run copy.
+
+        The shared (lru-cached) :class:`Topology` must never be mutated;
+        live graph edits operate on this network's private adjacency.
+        ``_execute_commands`` re-reads ``self._adjacency`` per batch, so
+        the swap is visible to every later send.  Non-churn runs never
+        pay for the copy.
+        """
+        if self._adjacency is self.topology.adjacency:
+            self._adjacency = {
+                pid: set(peers) for pid, peers in self.topology.adjacency.items()
+            }
+        self._churn = True
+
+    def join_at(self, pid: int, time_ms: float) -> None:
+        """Process ``pid`` joins the run at absolute time ``time_ms``.
+
+        Until then it is absent: ``on_start`` does not run and messages
+        addressed to it are *dropped* (a late joiner missed the early
+        traffic — contrast :meth:`delay_start`, which buffers).  Its
+        topology links are unaffected.
+        """
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot join unknown process {pid}")
+        if self._started:
+            raise ConfigurationError("join_at must be called before the run starts")
+        if time_ms < 0:
+            raise ConfigurationError(f"join time must be non-negative, got {time_ms}")
+        self._unjoined.add(pid)
+        self._join_times[pid] = time_ms
+        self.scheduler.schedule_at(time_ms, self._join, pid)
+
+    def _join(self, pid: int) -> None:
+        self._join_times.pop(pid, None)
+        if pid not in self._unjoined:
+            return
+        self._unjoined.discard(pid)
+        if pid in self._crashed:
+            return
+        protocol = self.protocols[pid]
+        if hasattr(protocol, "on_start"):
+            self._execute_commands(pid, protocol.on_start())
+
+    def leave_at(self, pid: int, time_ms: float) -> None:
+        """Process ``pid`` leaves the run at absolute time ``time_ms``.
+
+        Leaving combines a fail-silent crash with a graph edit: every
+        ``{pid, peer}`` link is severed, so subsequent sends toward the
+        departed process are lost on a missing channel (and counted in
+        :attr:`dropped_messages`) rather than reaching a dead inbox.
+        """
+        if pid not in self.protocols:
+            raise ConfigurationError(f"cannot remove unknown process {pid}")
+        if time_ms <= self.scheduler.now:
+            self._leave(pid)
+        else:
+            self.scheduler.schedule_at(time_ms, self._leave, pid)
+
+    def _leave(self, pid: int) -> None:
+        self._materialize_adjacency()
+        self._departed.add(pid)
+        self.crash(pid)
+        self._unjoined.discard(pid)
+        self._join_times.pop(pid, None)
+        for peer in tuple(self._adjacency[pid]):
+            self._adjacency[peer].discard(pid)
+        self._adjacency[pid] = set()
+
+    def rewire_link_at(
+        self, pid: int, old_peer: int, new_peer: int, time_ms: float
+    ) -> None:
+        """At ``time_ms``, replace the ``{pid, old_peer}`` link with
+        ``{pid, new_peer}``.
+
+        Validated against the *initial* topology (the edge to sever must
+        exist there); at fire time the edit applies to the live adjacency,
+        where earlier churn may already have removed either endpoint's
+        links — missing edges are then simply skipped.
+        """
+        for node in (pid, old_peer, new_peer):
+            if node not in self.protocols:
+                raise ConfigurationError(f"cannot rewire unknown process {node}")
+        if not self.topology.has_edge(pid, old_peer):
+            raise ConfigurationError(f"no link between {pid} and {old_peer} to rewire")
+        if time_ms <= self.scheduler.now:
+            self._rewire(pid, old_peer, new_peer)
+        else:
+            self.scheduler.schedule_at(time_ms, self._rewire, pid, old_peer, new_peer)
+
+    def _rewire(self, pid: int, old_peer: int, new_peer: int) -> None:
+        self._materialize_adjacency()
+        adjacency = self._adjacency
+        adjacency[pid].discard(old_peer)
+        adjacency[old_peer].discard(pid)
+        adjacency[pid].add(new_peer)
+        adjacency[new_peer].add(pid)
+
+    def is_joined(self, pid: int) -> bool:
+        """Whether ``pid`` has joined the run (true unless a pending JoinAt)."""
+        return pid not in self._unjoined
+
+    def has_departed(self, pid: int) -> bool:
+        """Whether ``pid`` left the run via :meth:`leave_at`."""
+        return pid in self._departed
+
     def replace_protocol(self, pid: int, protocol: object) -> None:
         """Swap process ``pid``'s protocol instance mid-run.
 
@@ -237,6 +352,9 @@ class SimulatedNetwork:
             return
         self._started = True
         for pid, protocol in self.protocols.items():
+            if pid in self._unjoined:
+                # Joins later: _join runs on_start at the join time.
+                continue
             if self.is_dormant(pid):
                 self._dormant_buffers.setdefault(pid, [])
                 self.scheduler.schedule_at(self._start_times[pid], self._wake, pid)
@@ -266,6 +384,13 @@ class SimulatedNetwork:
         """
         self.start()
         if pid in self._crashed:
+            return
+        if pid in self._unjoined:
+            # The join event is already queued at the same timestamp with
+            # a smaller sequence number, so on_start runs first.
+            self.scheduler.schedule_at(
+                self._join_times[pid], self._broadcast_after_wake, pid, payload, bid
+            )
             return
         if self.is_dormant(pid):
             # The wake-up event is already queued at the same timestamp with
@@ -372,6 +497,11 @@ class SimulatedNetwork:
             if type(command) is SendTo or isinstance(command, SendTo):
                 dest = command.dest
                 if dest not in neighbors:
+                    if self._churn:
+                        # A live graph edit severed the channel mid-run:
+                        # the transmission is lost, not a protocol bug.
+                        self.dropped_messages += 1
+                        continue
                     raise RuntimeAbort(
                         f"process {pid} tried to send to {dest} without a channel"
                     )
@@ -507,6 +637,10 @@ class SimulatedNetwork:
         here so mid-flight adaptive conversions receive the message.
         """
         if dest in self._crashed:
+            return
+        if self._unjoined and dest in self._unjoined:
+            # Not a member yet: a late joiner misses the early traffic.
+            self.dropped_messages += 1
             return
         if self._start_times and self.is_dormant(dest):
             self._dormant_buffers.setdefault(dest, []).append((sender, message))

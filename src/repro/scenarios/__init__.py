@@ -64,6 +64,7 @@ from repro.scenarios.engine import (
     simulate_scenario,
 )
 from repro.scenarios.faults import (
+    CHURN_FAULT_TYPES,
     AdaptiveController,
     AdaptiveFault,
     CrashAt,
@@ -71,8 +72,11 @@ from repro.scenarios.faults import (
     CutLinkWhen,
     DelayedStart,
     FaultEvent,
+    JoinAt,
+    LeaveAt,
     LinkDropWindow,
     ObservationFilter,
+    RewireLinkAt,
     TurnByzantineWhen,
 )
 from repro.scenarios.grid import expand_grid, seed_cells
@@ -128,6 +132,10 @@ __all__ = [
     "CrashAt",
     "LinkDropWindow",
     "DelayedStart",
+    "JoinAt",
+    "LeaveAt",
+    "RewireLinkAt",
+    "CHURN_FAULT_TYPES",
     "FaultEvent",
     # adaptive faults
     "ObservationFilter",

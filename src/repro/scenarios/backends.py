@@ -22,6 +22,12 @@ ship:
                             endpoints of the link
   ``DelayedStart(pid, t)``  node buffers inbound traffic and joins
                             at wall-clock ``t``
+  ``JoinAt(pid, t)``        node is drop-dormant (inbound traffic is
+                            lost) until it joins at wall-clock ``t``
+  ``LeaveAt(pid, t)``       node goes fail-silent and every channel
+                            to it is torn down at wall-clock ``t``
+  ``RewireLinkAt(...)``     old channel severed on both endpoints,
+                            new link accepted and dialed mid-run
   lossy ``DelaySpec``       probabilistic / periodic connection
                             drop filters seeded from the scenario
                             hash (``plan_loss``)
@@ -68,7 +74,10 @@ from repro.scenarios.faults import (
     CrashAt,
     DelayedStart,
     FaultEvent,
+    JoinAt,
+    LeaveAt,
     LinkDropWindow,
+    RewireLinkAt,
 )
 from repro.scenarios.spec import BACKEND_NAMES, BroadcastSpec, ScenarioSpec
 from repro.topology.generators import Topology
@@ -126,7 +135,35 @@ class DeferredStart:
     wake_s: float
 
 
-RuntimeAction = Union[NodeCrash, LinkDropFilter, DeferredStart]
+@dataclass(frozen=True)
+class DormantJoin:
+    """Keep ``pid`` a drop-dormant non-member until ``at_s`` after the epoch."""
+
+    pid: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class NodeLeave:
+    """``pid`` leaves (fail-silent + link teardown) at ``at_s`` after the epoch."""
+
+    pid: int
+    at_s: float
+
+
+@dataclass(frozen=True)
+class LinkRewire:
+    """Replace ``{pid, old_peer}`` with ``{pid, new_peer}`` at ``at_s``."""
+
+    pid: int
+    old_peer: int
+    new_peer: int
+    at_s: float
+
+
+RuntimeAction = Union[
+    NodeCrash, LinkDropFilter, DeferredStart, DormantJoin, NodeLeave, LinkRewire
+]
 
 
 @dataclass(frozen=True)
@@ -238,6 +275,23 @@ class AsyncioBackend(ScenarioBackend):
                 actions.append(
                     DeferredStart(pid=fault.pid, wake_s=self._scale(fault.time_ms))
                 )
+            elif isinstance(fault, JoinAt):
+                actions.append(
+                    DormantJoin(pid=fault.pid, at_s=self._scale(fault.time_ms))
+                )
+            elif isinstance(fault, LeaveAt):
+                actions.append(
+                    NodeLeave(pid=fault.pid, at_s=self._scale(fault.time_ms))
+                )
+            elif isinstance(fault, RewireLinkAt):
+                actions.append(
+                    LinkRewire(
+                        pid=fault.pid,
+                        old_peer=fault.old_peer,
+                        new_peer=fault.new_peer,
+                        at_s=self._scale(fault.time_ms),
+                    )
+                )
             else:  # pragma: no cover - defensive
                 raise ConfigurationError(
                     f"the asyncio backend does not support fault {fault!r}"
@@ -317,6 +371,14 @@ class AsyncioBackend(ScenarioBackend):
                 )
             elif isinstance(action, DeferredStart):
                 cluster.delay_start(action.pid, action.wake_s)
+            elif isinstance(action, DormantJoin):
+                cluster.join_at(action.pid, action.at_s)
+            elif isinstance(action, NodeLeave):
+                cluster.schedule_leave(action.pid, action.at_s)
+            elif isinstance(action, LinkRewire):
+                cluster.schedule_rewire(
+                    action.pid, action.old_peer, action.new_peer, action.at_s
+                )
 
     @staticmethod
     def arm_loss(
@@ -396,11 +458,20 @@ class AsyncioBackend(ScenarioBackend):
         adaptive = self.arm_adaptive(cluster, spec, byzantine)
 
         schedule = self.plan_workload(spec)
-        crashed = {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
+        crashed = {
+            fault.pid
+            for fault in spec.faults
+            if isinstance(fault, (CrashAt, LeaveAt))
+        }
+        # Late joiners are excluded from the delivery *wait* only (they
+        # missed the early traffic, so blocking on them would run every
+        # churn cell to the timeout); freeze_result still accounts them
+        # as correct, and totality is suppressed under churn anyway.
+        late = {fault.pid for fault in spec.faults if isinstance(fault, JoinAt)}
         correct = [
             pid
             for pid in topology.nodes
-            if pid not in byzantine and pid not in crashed
+            if pid not in byzantine and pid not in crashed and pid not in late
         ]
         try:
             await cluster.start(connect_timeout=self.connect_timeout_s)
@@ -477,6 +548,9 @@ __all__ = [
     "NodeCrash",
     "LinkDropFilter",
     "DeferredStart",
+    "DormantJoin",
+    "NodeLeave",
+    "LinkRewire",
     "RuntimeAction",
     "ScheduledBroadcast",
     "ConnectionLoss",

@@ -236,9 +236,10 @@ def conformance_mode_for(spec: ScenarioSpec, mode: str = "auto") -> str:
     """Resolve the comparison mode for ``spec``.
 
     ``"auto"`` compares full delivery verdicts for reliable, statically
-    faulted scenarios and falls back to safety-only verdicts for lossy
-    or adaptive ones, whose delivery sets legitimately differ between a
-    seeded simulation and real sockets.
+    faulted scenarios and falls back to safety-only verdicts for lossy,
+    adaptive or churned ones, whose delivery sets legitimately differ
+    between a seeded simulation and real sockets (under churn, which
+    in-flight copies the graph edit catches is a timing property).
     """
     if mode not in CONFORMANCE_MODES:
         raise ConfigurationError(
@@ -246,7 +247,11 @@ def conformance_mode_for(spec: ScenarioSpec, mode: str = "auto") -> str:
         )
     if mode != "auto":
         return mode
-    return "safety" if (spec.is_lossy or spec.is_adaptive) else "full"
+    return (
+        "safety"
+        if (spec.is_lossy or spec.is_adaptive or spec.has_churn)
+        else "full"
+    )
 
 
 def run_conformance(

@@ -38,6 +38,7 @@ from repro.scenarios.faults import (
     CrashAction,
     CrashAt,
     CutLinkWhen,
+    LeaveAt,
     LinkDownAction,
 )
 from repro.scenarios.placement import place_adversaries
@@ -299,6 +300,7 @@ def build_protocols(
                 family=family,
                 seed=spec.seed + pid,
                 drop_probability=adversary.drop_probability,
+                conflicting_payload=adversary.conflicting_payload,
             )
     return protocols
 
@@ -428,7 +430,9 @@ def freeze_result(
     either way.  ``byzantine`` already includes any adaptive mid-run
     conversions (the caller merges them); ``extra_crashed`` carries the
     pids adaptive triggers crashed, on top of the spec's static
-    :class:`CrashAt` events.
+    :class:`CrashAt` events and the departed pids of :class:`LeaveAt`
+    churn (a process that left the run is non-correct for safety
+    accounting, exactly like a crashed one).
 
     Fault precedence: a process that is both Byzantine and targeted by a
     :class:`CrashAt` fault (or an adaptive crash) is reported as
@@ -439,7 +443,11 @@ def freeze_result(
     crashed = tuple(
         sorted(
             (
-                {fault.pid for fault in spec.faults if isinstance(fault, CrashAt)}
+                {
+                    fault.pid
+                    for fault in spec.faults
+                    if isinstance(fault, (CrashAt, LeaveAt))
+                }
                 | set(extra_crashed)
             )
             - set(byzantine)

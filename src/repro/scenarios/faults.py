@@ -113,7 +113,97 @@ class DelayedStart:
         network.delay_start(self.pid, self.time_ms)
 
 
-FaultEvent = Union[CrashAt, LinkDropWindow, DelayedStart]
+# ----------------------------------------------------------------------
+# Membership churn
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JoinAt:
+    """Process ``pid`` joins the run at absolute time ``time_ms``.
+
+    Until the join fires the process is *absent*: it does not run
+    ``on_start`` and messages addressed to it are dropped (unlike
+    :class:`DelayedStart`, which buffers them — a late joiner never saw
+    the early traffic).  The process keeps its topology links; only its
+    participation starts late.
+    """
+
+    pid: int
+    time_ms: float
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise SpecError(
+                f"JoinAt time must be non-negative, got {self.time_ms}"
+            )
+
+    def apply(self, network) -> None:
+        network.join_at(self.pid, self.time_ms)
+
+
+@dataclass(frozen=True)
+class LeaveAt:
+    """Process ``pid`` leaves the run at absolute time ``time_ms``.
+
+    Leaving is a graph edit, not just a crash: the process goes
+    fail-silent *and* its links are torn down, so later sends toward it
+    are lost on the (now missing) channel instead of reaching a dead
+    inbox.  For safety accounting the process counts as non-correct, like
+    a crashed one.
+    """
+
+    pid: int
+    time_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise SpecError(
+                f"LeaveAt time must be non-negative, got {self.time_ms}"
+            )
+
+    def apply(self, network) -> None:
+        network.leave_at(self.pid, self.time_ms)
+
+
+@dataclass(frozen=True)
+class RewireLinkAt:
+    """At ``time_ms``, replace ``pid``'s link to ``old_peer`` with ``new_peer``.
+
+    The ``{pid, old_peer}`` edge is severed and ``{pid, new_peer}`` comes
+    up, mid-run.  Degree is preserved but the disjoint-path structure the
+    2f+1 bound rests on can change under the protocols' feet — the
+    connectivity-under-churn helper in ``repro.topology.analysis``
+    reports whether the bound survived every edit.
+    """
+
+    pid: int
+    old_peer: int
+    new_peer: int
+    time_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.time_ms < 0:
+            raise SpecError(
+                f"RewireLinkAt time must be non-negative, got {self.time_ms}"
+            )
+        if self.old_peer == self.pid or self.new_peer == self.pid:
+            raise SpecError(
+                f"RewireLinkAt peers must differ from pid {self.pid}"
+            )
+        if self.old_peer == self.new_peer:
+            raise SpecError(
+                "RewireLinkAt old_peer and new_peer must differ, "
+                f"both are {self.old_peer}"
+            )
+
+    def apply(self, network) -> None:
+        network.rewire_link_at(self.pid, self.old_peer, self.new_peer, self.time_ms)
+
+
+FaultEvent = Union[CrashAt, LinkDropWindow, DelayedStart, JoinAt, LeaveAt, RewireLinkAt]
+
+#: The churn subset of the timed fault taxonomy — events that edit the
+#: live topology (or membership) instead of only silencing traffic.
+CHURN_FAULT_TYPES = (JoinAt, LeaveAt, RewireLinkAt)
 
 
 # ----------------------------------------------------------------------
@@ -249,8 +339,10 @@ class TurnByzantineWhen(_TriggeredFault):
 
     The process runs correctly until the trigger fires, then its protocol
     instance is swapped for ``behaviour`` (``"mute"`` forgets the wrapped
-    instance; ``"drop"`` and ``"forge"`` wrap the *live* instance, so the
-    turned process keeps its accumulated protocol state).  The pid counts
+    instance; every relay behaviour — ``"drop"``, ``"forge"``,
+    ``"alter_sender"``, ``"send_empty"``, ``"limited_broadcast"``,
+    ``"truncate_path"`` — wraps the *live* instance, so the turned
+    process keeps its accumulated protocol state).  The pid counts
     against the spec's ``f`` budget — an adaptive adversary corrupts
     processes mid-run but cannot exceed the paper's fault bound.
     """
@@ -261,7 +353,15 @@ class TurnByzantineWhen(_TriggeredFault):
     behaviour: str = "mute"
     drop_probability: float = 0.5
 
-    _BEHAVIOURS = ("mute", "drop", "forge")
+    _BEHAVIOURS = (
+        "mute",
+        "drop",
+        "forge",
+        "alter_sender",
+        "send_empty",
+        "limited_broadcast",
+        "truncate_path",
+    )
 
     def __post_init__(self) -> None:
         if self.count < 1:
@@ -370,6 +470,10 @@ __all__ = [
     "CrashAt",
     "LinkDropWindow",
     "DelayedStart",
+    "JoinAt",
+    "LeaveAt",
+    "RewireLinkAt",
+    "CHURN_FAULT_TYPES",
     "FaultEvent",
     "OBSERVATION_KINDS",
     "ObservationFilter",

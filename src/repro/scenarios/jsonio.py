@@ -30,8 +30,11 @@ from repro.scenarios.faults import (
     CrashWhen,
     CutLinkWhen,
     DelayedStart,
+    JoinAt,
+    LeaveAt,
     LinkDropWindow,
     ObservationFilter,
+    RewireLinkAt,
     TurnByzantineWhen,
 )
 from repro.scenarios.spec import (
@@ -62,6 +65,9 @@ SPEC_TYPES = {
         CrashAt,
         LinkDropWindow,
         DelayedStart,
+        JoinAt,
+        LeaveAt,
+        RewireLinkAt,
         ObservationFilter,
         CrashWhen,
         TurnByzantineWhen,
@@ -87,6 +93,10 @@ def spec_to_jsonable(value: Any) -> Any:
         return encoded
     if isinstance(value, (tuple, list)):
         return [spec_to_jsonable(item) for item in value]
+    if isinstance(value, bytes):
+        # Tagged like spec types so a decoded document cannot confuse a
+        # payload with a mapping; hex keeps the record human-diffable.
+        return {"__bytes__": value.hex()}
     if value is None or isinstance(value, (bool, int, float, str)):
         return value
     raise SpecJSONError(f"cannot encode value of type {type(value).__name__}")
@@ -100,6 +110,13 @@ def spec_from_jsonable(data: Any) -> Any:
     so the round trip restores dataclass equality exactly.
     """
     if isinstance(data, dict):
+        if "__bytes__" in data and "__type__" not in data:
+            if len(data) != 1 or not isinstance(data["__bytes__"], str):
+                raise SpecJSONError(f"malformed __bytes__ value: {sorted(data)}")
+            try:
+                return bytes.fromhex(data["__bytes__"])
+            except ValueError as exc:
+                raise SpecJSONError(f"malformed __bytes__ hex: {exc}") from exc
         if "__type__" not in data:
             raise SpecJSONError(f"spec document lacks a __type__ tag: {sorted(data)}")
         name = data["__type__"]

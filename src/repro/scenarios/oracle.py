@@ -157,6 +157,10 @@ def totality_expected(spec: ScenarioSpec) -> bool:
     :class:`~repro.scenarios.faults.DelayedStart` only postpones them: a
     dormant node buffers everything that arrives early and replays it in
     arrival order at wake-up, so every correct process still delivers.
+    Membership churn (``JoinAt``/``LeaveAt``/``RewireLinkAt``) is
+    delivery-breaking by construction — a late joiner misses early
+    traffic and graph edits lose in-flight messages — so churn specs
+    fail the ``DelayedStart``-only test and totality stays conservative.
     The fault *types* decide, not mere presence.  Connectivity
     (``>= 2f + 1``) is the spec author's obligation, as in the property
     suite; the randomized oracle grids only emit compliant topologies.
@@ -227,7 +231,16 @@ _DELAY_BASES = (
 
 _LOSS_LEVELS = (0.02, 0.05, 0.1, 0.2)
 
-_STATIC_BEHAVIOURS = ("mute", "drop", "forge", "equivocate")
+_STATIC_BEHAVIOURS = (
+    "mute",
+    "drop",
+    "forge",
+    "equivocate",
+    "alter_sender",
+    "send_empty",
+    "limited_broadcast",
+    "truncate_path",
+)
 
 
 def sample_lossy_adaptive_specs(

@@ -179,7 +179,7 @@ def _referenced_pids(spec: ScenarioSpec) -> List[int]:
         if broadcast.successor is not None:
             pids.append(broadcast.successor)
     for fault in spec.faults:
-        for attr in ("pid", "u", "v"):
+        for attr in ("pid", "u", "v", "old_peer", "new_peer"):
             value = getattr(fault, attr, None)
             if value is not None:
                 pids.append(value)

@@ -212,17 +212,27 @@ class AdversarySpec:
     """``count`` processes exhibiting one Byzantine behaviour.
 
     ``behaviour`` is one of :data:`repro.network.adversary.BEHAVIOUR_NAMES`
-    (``"mute"``, ``"drop"``, ``"forge"``, ``"equivocate"``); ``placement``
-    is one of the strategies of :mod:`repro.scenarios.placement`
-    (``"random"``, ``"max_degree"``, ``"articulation_adjacent"``).  For
-    ``"equivocate"`` the first slot is always the broadcast source — the
-    attack only makes sense there.
+    (``"mute"``, ``"drop"``, ``"forge"``, ``"equivocate"``,
+    ``"alter_sender"``, ``"send_empty"``, ``"limited_broadcast"``,
+    ``"truncate_path"``); ``placement`` is one of the strategies of
+    :mod:`repro.scenarios.placement` (``"random"``, ``"max_degree"``,
+    ``"articulation_adjacent"``).  For ``"equivocate"`` the first slot is
+    always the broadcast source — the attack only makes sense there —
+    and ``conflicting_payload`` optionally pins the second payload the
+    equivocator sends (default: derived deterministically from the
+    genuine payload and the scenario seed).
     """
 
     behaviour: str = "mute"
     count: int = 1
     placement: str = "random"
     drop_probability: float = 0.5
+    conflicting_payload: Optional[bytes] = None
+
+    # Fields appended after the PR 1 hash freeze, suppressed at their
+    # defaults so every pre-existing scenario hash (goldens, cache
+    # slots, corpus keys) stays byte-identical.
+    _HASH_SUPPRESS_DEFAULTS = {"conflicting_payload": None}
 
     def __post_init__(self) -> None:
         if self.behaviour not in BEHAVIOUR_NAMES:
@@ -236,6 +246,17 @@ class AdversarySpec:
             )
         if self.count < 0:
             raise ConfigurationError(f"count must be non-negative, got {self.count}")
+        if self.conflicting_payload is not None:
+            if self.behaviour != "equivocate":
+                raise ConfigurationError(
+                    "conflicting_payload only applies to the 'equivocate' "
+                    f"behaviour, not {self.behaviour!r}"
+                )
+            if not isinstance(self.conflicting_payload, bytes):
+                raise ConfigurationError(
+                    "conflicting_payload must be bytes, got "
+                    f"{type(self.conflicting_payload).__name__}"
+                )
 
 
 @dataclass(frozen=True)
@@ -622,6 +643,13 @@ class ScenarioSpec:
     def is_adaptive(self) -> bool:
         """Whether the scenario carries adaptive (trigger-driven) faults."""
         return bool(self.adaptive)
+
+    @property
+    def has_churn(self) -> bool:
+        """Whether the scenario carries membership-churn faults."""
+        from repro.scenarios.faults import CHURN_FAULT_TYPES
+
+        return any(isinstance(fault, CHURN_FAULT_TYPES) for fault in self.faults)
 
     def scenario_hash(self) -> str:
         """Stable hex digest identifying this scenario.

@@ -9,7 +9,8 @@ Bracha's protocol requires full connectivity.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
 
 import networkx as nx
 
@@ -90,6 +91,113 @@ def all_pairs_min_disjoint_paths(topology: Topology) -> Tuple[int, List[Tuple[in
     return (minimum if minimum is not None else 0), witnesses
 
 
+@dataclass(frozen=True)
+class ChurnSnapshot:
+    """Connectivity of the live graph right after one churn event."""
+
+    time_ms: float
+    event: str
+    connectivity: int
+    meets_bound: bool
+
+
+@dataclass(frozen=True)
+class ChurnConnectivityReport:
+    """Whether the ``2f + 1`` bound survived every churn edit of a run.
+
+    ``snapshots[0]`` describes the initial graph (pending joiners
+    excluded — they are not members yet); each later snapshot is taken
+    immediately after one churn event applied in time order.  ``held``
+    is the conjunction of every snapshot's ``meets_bound``.
+    """
+
+    required: int
+    snapshots: Tuple[ChurnSnapshot, ...]
+
+    @property
+    def held(self) -> bool:
+        return all(snapshot.meets_bound for snapshot in self.snapshots)
+
+
+def _live_connectivity(graph: nx.Graph) -> int:
+    if graph.number_of_nodes() <= 1:
+        return graph.number_of_nodes()
+    if not nx.is_connected(graph):
+        return 0
+    if graph.number_of_nodes() == 2:
+        return 1
+    return nx.node_connectivity(graph)
+
+
+def connectivity_under_churn(
+    topology: Topology, faults: Sequence[object], f: int
+) -> ChurnConnectivityReport:
+    """Replay a spec's churn events on a graph copy and check the bound.
+
+    ``faults`` may be any spec fault list; only the churn events
+    (``JoinAt``/``LeaveAt``/``RewireLinkAt``) edit the graph — the rest
+    are ignored.  Events apply in ``time_ms`` order (spec order breaks
+    ties), mirroring the simulator's scheduler.  The paper's bound asks
+    for ``2f + 1`` vertex connectivity among the *member* processes; a
+    report with ``held=False`` means reliable communication was not
+    guaranteed for some portion of the run, so delivery gaps there are
+    a topology property, not a protocol bug.
+    """
+    from repro.scenarios.faults import JoinAt, LeaveAt, RewireLinkAt
+
+    if f < 0:
+        raise TopologyError(f"f must be non-negative, got {f}")
+    required = 2 * f + 1
+    churn = sorted(
+        (
+            (fault.time_ms, index, fault)
+            for index, fault in enumerate(faults)
+            if isinstance(fault, (JoinAt, LeaveAt, RewireLinkAt))
+        ),
+        key=lambda item: (item[0], item[1]),
+    )
+    graph = topology.to_networkx().copy()
+    # Pending joiners are not members of the initial graph.
+    for _, _, fault in churn:
+        if isinstance(fault, JoinAt):
+            graph.remove_node(fault.pid)
+    snapshots = [
+        ChurnSnapshot(
+            time_ms=0.0,
+            event="initial",
+            connectivity=_live_connectivity(graph),
+            meets_bound=_live_connectivity(graph) >= required,
+        )
+    ]
+    for time_ms, _, fault in churn:
+        if isinstance(fault, JoinAt):
+            graph.add_node(fault.pid)
+            for peer in topology.neighbors(fault.pid):
+                if graph.has_node(peer):
+                    graph.add_edge(fault.pid, peer)
+            event = f"join({fault.pid})"
+        elif isinstance(fault, LeaveAt):
+            if graph.has_node(fault.pid):
+                graph.remove_node(fault.pid)
+            event = f"leave({fault.pid})"
+        else:
+            if graph.has_edge(fault.pid, fault.old_peer):
+                graph.remove_edge(fault.pid, fault.old_peer)
+            if graph.has_node(fault.pid) and graph.has_node(fault.new_peer):
+                graph.add_edge(fault.pid, fault.new_peer)
+            event = f"rewire({fault.pid}: {fault.old_peer}->{fault.new_peer})"
+        connectivity = _live_connectivity(graph)
+        snapshots.append(
+            ChurnSnapshot(
+                time_ms=time_ms,
+                event=event,
+                connectivity=connectivity,
+                meets_bound=connectivity >= required,
+            )
+        )
+    return ChurnConnectivityReport(required=required, snapshots=tuple(snapshots))
+
+
 __all__ = [
     "vertex_connectivity",
     "meets_connectivity_requirement",
@@ -97,4 +205,7 @@ __all__ = [
     "disjoint_path_count",
     "articulation_points",
     "all_pairs_min_disjoint_paths",
+    "ChurnSnapshot",
+    "ChurnConnectivityReport",
+    "connectivity_under_churn",
 ]

@@ -19,10 +19,14 @@ from repro.scenarios import (
     AsyncioBackend,
     CrashAt,
     DelayedStart,
+    JoinAt,
+    LeaveAt,
     LinkDropWindow,
+    RewireLinkAt,
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
+    conformance_mode_for,
     expand_grid,
     run_conformance,
 )
@@ -189,6 +193,44 @@ class TestRCOConformance:
                 workload=WorkloadSpec.causal_chain((0, 2), interval_ms=300.0),
             )
         )
+
+
+class TestChurnConformance:
+    """Membership churn runs on both backends with matching safety verdicts.
+
+    Which in-flight copies a graph edit catches is a timing property, so
+    ``auto`` compares safety-only verdicts for churned specs — delivery
+    sets may differ, forged/split deliveries may not.
+    """
+
+    def test_churn_specs_resolve_to_safety_mode(self):
+        spec = ScenarioSpec(
+            name="conformance-churn-mode",
+            topology=TopologySpec(kind="harary", n=5, k=3),
+            f=1,
+            seed=23,
+            faults=(LeaveAt(pid=4, time_ms=50.0),),
+        )
+        assert spec.has_churn
+        assert conformance_mode_for(spec) == "safety"
+
+    def test_join_leave_rewire_conform(self):
+        for name, faults in (
+            ("join", (JoinAt(pid=4, time_ms=50.0),)),
+            ("leave", (LeaveAt(pid=4, time_ms=50.0),)),
+            ("rewire", (RewireLinkAt(pid=4, old_peer=5, new_peer=1, time_ms=50.0),)),
+        ):
+            spec = ScenarioSpec(
+                name=f"conformance-churn-{name}",
+                topology=TopologySpec(kind="harary", n=6, k=4),
+                f=1,
+                seed=29,
+                faults=faults,
+            )
+            report = run_conformance(spec, overrides={"asyncio": FAST_ASYNCIO})
+            assert report.agree, (
+                f"backends disagree on {spec.name}: {report.mismatches()}"
+            )
 
 
 class TestSweepWithBackendAxis:

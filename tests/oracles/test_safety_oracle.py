@@ -17,9 +17,13 @@ import pytest
 
 from repro.runner.parallel import run_sweep
 from repro.scenarios import (
+    AdversarySpec,
     CrashWhen,
     DelaySpec,
+    JoinAt,
+    LeaveAt,
     ObservationFilter,
+    RewireLinkAt,
     ScenarioSpec,
     TopologySpec,
     TurnByzantineWhen,
@@ -119,6 +123,70 @@ class TestOracleSmoke:
         assert (3, "mute") in result.byzantine
         assert 3 not in result.correct_processes
         assert_safe(result)
+
+
+class TestExtendedBehaviourSafety:
+    """Each extended taxonomy behaviour on minimal 2f+1 Harary graphs.
+
+    The paper's bound says 2f+1 vertex connectivity suffices against f
+    Byzantine processes behaving *arbitrarily* — so every named
+    behaviour, however it mangles sources, payloads, paths or fan-out,
+    must leave no-forgery and agreement intact on H(2f+1, n).
+    """
+
+    BEHAVIOURS = ("alter_sender", "send_empty", "limited_broadcast", "truncate_path")
+
+    @pytest.mark.parametrize("behaviour", BEHAVIOURS)
+    def test_behaviour_preserves_safety_on_harary(self, behaviour):
+        for n, seed in ((7, 11), (7, 12), (9, 13)):
+            spec = ScenarioSpec(
+                name=f"oracle-behaviour-{behaviour}",
+                topology=TopologySpec(kind="harary", n=n, k=3),
+                delay=DelaySpec(kind="fixed", mean_ms=8.0),
+                f=1,
+                seed=seed,
+                adversaries=(AdversarySpec(behaviour=behaviour, count=1),),
+            )
+            result = run_scenario(spec)
+            assert result.byzantine  # the behaviour was actually placed
+            assert_safe(result)
+
+    @pytest.mark.parametrize("behaviour", BEHAVIOURS)
+    def test_adaptive_conversion_to_behaviour_preserves_safety(self, behaviour):
+        spec = ScenarioSpec(
+            name=f"oracle-convert-{behaviour}",
+            topology=TopologySpec(kind="harary", n=7, k=3),
+            delay=DelaySpec(kind="fixed", mean_ms=8.0),
+            f=1,
+            seed=23,
+            adaptive=(
+                TurnByzantineWhen(
+                    pid=3,
+                    after=ObservationFilter(kind="deliver", pid=3),
+                    behaviour=behaviour,
+                ),
+            ),
+        )
+        result = run_scenario(spec)
+        assert_safe(result)
+
+    def test_churn_preserves_safety(self):
+        # Membership churn may legitimately cost totality (the oracle is
+        # conservative there) but never safety.
+        for faults in (
+            (JoinAt(pid=4, time_ms=30.0),),
+            (LeaveAt(pid=4, time_ms=30.0),),
+            (RewireLinkAt(pid=4, old_peer=5, new_peer=1, time_ms=30.0),),
+        ):
+            spec = ScenarioSpec(
+                name="oracle-churn",
+                topology=TopologySpec(kind="harary", n=7, k=3),
+                delay=DelaySpec(kind="fixed", mean_ms=8.0),
+                f=1,
+                seed=31,
+                faults=faults,
+            )
+            assert_safe(run_scenario(spec))
 
 
 @pytest.mark.slow

@@ -1,4 +1,5 @@
-"""Unit tests for the crash / link-drop / delayed-start fault events."""
+"""Unit tests for the timed fault events (crash / link-drop / delayed
+start / membership churn)."""
 
 import pytest
 
@@ -9,8 +10,11 @@ from repro.scenarios import (
     CutLinkWhen,
     DelayedStart,
     DelaySpec,
+    JoinAt,
+    LeaveAt,
     LinkDropWindow,
     ObservationFilter,
+    RewireLinkAt,
     ScenarioSpec,
     TopologySpec,
     TurnByzantineWhen,
@@ -184,6 +188,99 @@ class TestConstructionTimeValidation:
         # Callers catching the broader class keep working.
         assert issubclass(SpecError, ConfigurationError)
 
+    def test_negative_join_time_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            JoinAt(pid=1, time_ms=-1.0)
+
+    def test_negative_leave_time_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            LeaveAt(pid=1, time_ms=-1.0)
+
+    def test_negative_rewire_time_rejected(self):
+        with pytest.raises(SpecError, match="non-negative"):
+            RewireLinkAt(pid=1, old_peer=0, new_peer=3, time_ms=-1.0)
+
+    def test_rewire_self_loop_rejected(self):
+        with pytest.raises(SpecError, match="differ from pid"):
+            RewireLinkAt(pid=1, old_peer=1, new_peer=3)
+        with pytest.raises(SpecError, match="differ from pid"):
+            RewireLinkAt(pid=1, old_peer=0, new_peer=1)
+
+    def test_rewire_to_the_same_peer_rejected(self):
+        with pytest.raises(SpecError, match="must differ"):
+            RewireLinkAt(pid=1, old_peer=0, new_peer=0)
+
+
+class TestMembershipChurn:
+    """Simulator semantics of the JoinAt / LeaveAt / RewireLinkAt faults."""
+
+    def test_late_joiner_misses_early_traffic_but_keeps_its_links(self):
+        # Unlike DelayedStart (which buffers), a late joiner drops the
+        # traffic sent before the join fires — it never saw the early
+        # broadcast, so it must not deliver it.
+        result = run_scenario(ring_spec(faults=(JoinAt(pid=3, time_ms=500.0),)))
+        assert 3 not in result.delivered_processes
+        assert result.dropped_messages > 0
+        # The other processes route around via the intact ring links.
+        others = set(result.correct_processes) - {3}
+        assert others <= set(result.delivered_processes)
+
+    def test_joiner_at_time_zero_participates_fully(self):
+        result = run_scenario(ring_spec(faults=(JoinAt(pid=3, time_ms=0.0),)))
+        healthy = run_scenario(ring_spec())
+        assert result.all_correct_delivered
+        assert result.latency_ms == healthy.latency_ms
+
+    def test_late_joining_source_broadcasts_after_joining(self):
+        result = run_scenario(ring_spec(faults=(JoinAt(pid=0, time_ms=100.0),)))
+        assert result.all_correct_delivered
+        first_delivery = min(time for time, _, _, _, _ in result.delivery_trace)
+        assert first_delivery >= 100.0
+
+    def test_leaver_counts_as_crashed_and_its_links_die(self):
+        result = run_scenario(ring_spec(faults=(LeaveAt(pid=3, time_ms=5.0),)))
+        assert 3 in result.crashed
+        assert 3 not in result.correct_processes
+        # In-flight copies toward the departed node are lost on the torn
+        # down links, not delivered to a dead inbox.
+        assert 3 not in result.delivered_processes
+        assert result.all_correct_delivered  # ring minus a node is a line
+
+    def test_immediate_leave_never_participates(self):
+        result = run_scenario(ring_spec(faults=(LeaveAt(pid=3, time_ms=0.0),)))
+        assert result.metrics.messages_by_process.get(3, 0) == 0
+
+    def test_rewire_shifts_traffic_without_raising(self):
+        # 1 swaps its ring link {1, 2} for the chord {1, 4} mid-run: the
+        # protocols keep their static neighbor view, so copies sent on
+        # the severed edge are dropped (never a RuntimeAbort) and the
+        # broadcast still completes over the remaining ring.
+        result = run_scenario(
+            ring_spec(
+                n=6,
+                faults=(RewireLinkAt(pid=1, old_peer=2, new_peer=4, time_ms=5.0),),
+            )
+        )
+        assert result.dropped_messages > 0
+        assert result.all_correct_delivered
+
+    def test_rewiring_a_missing_link_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(
+                ring_spec(
+                    faults=(RewireLinkAt(pid=0, old_peer=3, new_peer=1, time_ms=5.0),)
+                )
+            )
+
+    def test_churn_on_unknown_process_rejected(self):
+        for fault in (
+            JoinAt(pid=99, time_ms=0.0),
+            LeaveAt(pid=99, time_ms=0.0),
+            RewireLinkAt(pid=99, old_peer=0, new_peer=1, time_ms=0.0),
+        ):
+            with pytest.raises(ConfigurationError):
+                run_scenario(ring_spec(faults=(fault,)))
+
 
 class TestAdaptiveFaultValidation:
     def test_unknown_observation_kind_rejected(self):
@@ -197,6 +294,16 @@ class TestAdaptiveFaultValidation:
     def test_equivocate_conversion_rejected(self):
         with pytest.raises(SpecError, match="equivocation"):
             TurnByzantineWhen(pid=1, behaviour="equivocate")
+
+    def test_extended_behaviours_are_valid_conversion_targets(self):
+        for behaviour in (
+            "alter_sender",
+            "send_empty",
+            "limited_broadcast",
+            "truncate_path",
+        ):
+            fault = TurnByzantineWhen(pid=1, behaviour=behaviour)
+            assert fault.behaviour == behaviour
 
     def test_non_positive_cut_duration_rejected(self):
         with pytest.raises(SpecError, match="duration"):
